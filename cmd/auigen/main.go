@@ -1,0 +1,97 @@
+// Command auigen renders synthetic AUI and non-AUI screens to PNG files
+// with a JSON annotation index (COCO-style absolute-pixel boxes), for
+// inspecting the dataset the detectors train on.
+//
+// Usage:
+//
+//	auigen -out dataset-dump [-n 20] [-negatives 5] [-mask] [-cjk] [-obfuscate]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/auigen"
+	"repro/internal/dataset"
+)
+
+// annotation is the JSON record for one generated screen.
+type annotation struct {
+	File    string `json:"file"`
+	IsAUI   bool   `json:"is_aui"`
+	Subject string `json:"subject,omitempty"`
+	Boxes   []box  `json:"boxes,omitempty"`
+}
+
+type box struct {
+	Class string  `json:"class"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	W     float64 `json:"w"`
+	H     float64 `json:"h"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("auigen: ")
+	out := flag.String("out", "dataset-dump", "output directory")
+	n := flag.Int("n", 20, "number of AUI screens")
+	negatives := flag.Int("negatives", 5, "number of non-AUI screens")
+	seed := flag.Int64("seed", 1, "generator seed")
+	mask := flag.Bool("mask", false, "blur label texts (Table IV variant)")
+	cjk := flag.Bool("cjk", false, "CJK labels")
+	obfuscate := flag.Bool("obfuscate", false, "obfuscate resource ids")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("creating %s: %v", *out, err)
+	}
+	cfg := auigen.DatasetConfig{
+		MaskText: *mask,
+		Gen:      auigen.Config{CJK: *cjk, ObfuscateIDs: *obfuscate},
+	}
+	var anns []annotation
+
+	writePNG := func(name string, s *dataset.Sample) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			log.Fatalf("creating %s: %v", name, err)
+		}
+		if err := png.Encode(f, s.Input.Image()); err != nil {
+			log.Fatalf("encoding %s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", name, err)
+		}
+		ann := annotation{File: name, IsAUI: s.IsAUI}
+		if s.IsAUI {
+			ann.Subject = s.Subject.String()
+		}
+		for _, b := range s.Boxes {
+			ann.Boxes = append(ann.Boxes, box{Class: b.Class.String(), X: b.B.X, Y: b.B.Y, W: b.B.W, H: b.B.H})
+		}
+		anns = append(anns, ann)
+	}
+
+	for i, s := range auigen.BuildAUISamples(*seed, *n, cfg) {
+		writePNG(fmt.Sprintf("aui_%03d.png", i), s)
+	}
+	for i, s := range auigen.BuildNegativeSamples(*seed+999, *negatives, cfg) {
+		writePNG(fmt.Sprintf("non_aui_%03d.png", i), s)
+	}
+
+	idx, err := json.MarshalIndent(anns, "", "  ")
+	if err != nil {
+		log.Fatalf("marshalling annotations: %v", err)
+	}
+	idxPath := filepath.Join(*out, "annotations.json")
+	if err := os.WriteFile(idxPath, idx, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", idxPath, err)
+	}
+	log.Printf("wrote %d screens + %s", len(anns), idxPath)
+}

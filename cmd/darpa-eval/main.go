@@ -1,0 +1,51 @@
+// Command darpa-eval evaluates the detectors on the held-out test split and
+// prints Tables III-V (the accuracy experiments) without running the
+// device-level simulations.
+//
+// Usage:
+//
+//	darpa-eval [-quick] [-weights weights] [-iou 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/yolite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("darpa-eval: ")
+	quick := flag.Bool("quick", false, "reduced dataset/epochs")
+	weights := flag.String("weights", "weights", "pretrained weights directory")
+	iou := flag.Float64("iou", 0.9, "IoU matching threshold")
+	flag.Parse()
+
+	opts := []experiments.EnvOption{
+		experiments.WithWeightsDir(*weights),
+		experiments.WithLogf(log.Printf),
+	}
+	if *quick {
+		opts = append(opts, experiments.WithQuick())
+	}
+	env := experiments.NewEnv(opts...)
+
+	if *iou != 0.9 {
+		// Custom threshold: print a compact per-class report.
+		eval := yolite.Evaluate(env.Device(), env.Split().Test, *iou)
+		for _, cls := range []dataset.Class{dataset.ClassUPO, dataset.ClassAGO} {
+			c := eval.Class(cls)
+			fmt.Printf("%s@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", cls, *iou, c.Precision(), c.Recall(), c.F1())
+		}
+		all := eval.All()
+		fmt.Printf("All@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", *iou, all.Precision(), all.Recall(), all.F1())
+		return
+	}
+	fmt.Println(env.Table3().Format())
+	fmt.Println(env.Table4().Format())
+	fmt.Println(env.Table5().Format())
+}

@@ -1,0 +1,113 @@
+// Command darpa-sim runs the end-to-end simulation: a handset with a
+// simulated app popping asymmetric dark UIs, a Monkey tapping at random, and
+// DARPA monitoring through the accessibility layer, detecting AUIs and
+// decorating (or auto-bypassing) them. It prints a timeline of what
+// happened and can dump annotated screenshots.
+//
+// Usage:
+//
+//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/app"
+	"repro/internal/auigen"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sim"
+	"repro/internal/uikit"
+	"repro/internal/yolite"
+)
+
+func main() {
+	log.SetFlags(0)
+	minutes := flag.Int("minutes", 2, "simulated minutes to run")
+	weights := flag.String("weights", "weights", "pretrained weights directory")
+	bypass := flag.Bool("bypass", false, "auto-click detected UPOs instead of only decorating")
+	obfuscate := flag.Bool("obfuscate", false, "app obfuscates its resource ids")
+	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
+	flag.Parse()
+
+	model := yolite.NewModel(7)
+	path := filepath.Join(*weights, "yolite.gob")
+	if err := model.Load(path); err != nil {
+		log.Printf("no pretrained weights at %s (%v); training a quick model...", path, err)
+		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
+	}
+
+	clock := sim.NewClock(42)
+	screen := uikit.NewScreen(384, 640)
+	mgr := a11y.NewManager(clock, screen)
+	a := app.Launch(clock, mgr, app.Config{
+		Package:         "com.example.shop",
+		MeanAUIInterval: 10 * time.Second,
+		Obfuscate:       *obfuscate,
+	})
+	monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
+
+	shotIdx := 0
+	svc := core.Start(clock, mgr, model, core.Config{AutoBypass: *bypass})
+	svc.OnAnalysis = func(an core.Analysis) {
+		if len(an.Detections) == 0 {
+			return
+		}
+		fmt.Printf("[%8v] AUI detected on %s:\n", an.At.Round(time.Millisecond), an.Package)
+		for _, d := range an.Detections {
+			cls := "AGO"
+			if d.Class == dataset.ClassUPO {
+				cls = "UPO"
+			}
+			fmt.Printf("             %s at %v (confidence %.2f)\n", cls, d.B.Rect(), d.Score)
+		}
+		if *shots != "" {
+			// Render the decorated screen (decorations are already up).
+			c := screen.Render()
+			name := filepath.Join(*shots, fmt.Sprintf("detect_%02d.png", shotIdx))
+			shotIdx++
+			f, err := os.Create(name)
+			if err == nil {
+				_ = png.Encode(f, c.Image())
+				f.Close()
+				fmt.Printf("             screenshot -> %s\n", name)
+			}
+		}
+	}
+
+	if *shots != "" {
+		if err := os.MkdirAll(*shots, 0o755); err != nil {
+			log.Fatalf("creating %s: %v", *shots, err)
+		}
+	}
+	clock.RunUntil(time.Duration(*minutes) * time.Minute)
+	monkey.Stop()
+	svc.Stop()
+	a.Stop()
+
+	st := svc.Stats()
+	fmt.Printf("\n--- %d simulated minute(s) ---\n", *minutes)
+	fmt.Printf("accessibility events seen:   %d\n", st.EventsSeen)
+	fmt.Printf("debounced (work avoided):    %d\n", st.Debounced)
+	fmt.Printf("screens analysed:            %d\n", st.Analyses)
+	fmt.Printf("AUIs flagged:                %d\n", st.AUIFlagged)
+	fmt.Printf("decorations drawn:           %d\n", st.DecorationsDrawn)
+	fmt.Printf("auto-bypass clicks:          %d\n", st.Bypasses)
+	fmt.Printf("screenshot buffers rinsed:   %d\n", st.Rinses)
+	shown := a.History()
+	byClick := 0
+	for _, h := range shown {
+		if h.DismissedByClick {
+			byClick++
+		}
+	}
+	fmt.Printf("AUI popups shown by the app: %d (%d dismissed by click)\n", len(shown), byClick)
+}

@@ -1,0 +1,42 @@
+// Langtransfer: the language-generalisation claim of Section VI-B — the
+// detector keys on visual asymmetry, not text, so it transfers to apps in
+// another language without retraining. This example evaluates an
+// English-trained detector on CJK-labelled screens and on text-masked
+// screens (the Figure 7 experiment).
+//
+//	go run ./examples/langtransfer
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/auigen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/yolite"
+)
+
+func main() {
+	model := yolite.NewModel(7)
+	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
+		fmt.Println("no pretrained weights found; training a quick detector...")
+		samples := auigen.BuildAUISamples(1, 120, auigen.DatasetConfig{})
+		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 12})
+	}
+
+	evalOn := func(name string, cfg auigen.DatasetConfig) {
+		test := auigen.BuildAUISamples(555, 60, cfg)
+		eval := yolite.Evaluate(model, test, metrics.PaperIoUThreshold)
+		upo := eval.Class(dataset.ClassUPO)
+		all := eval.All()
+		fmt.Printf("%-22s UPO F1=%.3f  All F1=%.3f (IoU >= 0.9)\n", name, upo.F1(), all.F1())
+	}
+
+	fmt.Println("English-trained detector evaluated across languages:")
+	evalOn("English labels", auigen.DatasetConfig{})
+	evalOn("CJK labels", auigen.DatasetConfig{Gen: auigen.Config{CJK: true}})
+	evalOn("texts masked", auigen.DatasetConfig{MaskText: true})
+	fmt.Println("\nsimilar scores across rows = detection comes from visual")
+	fmt.Println("asymmetry, not from reading the button text (paper Table IV).")
+}

@@ -1,0 +1,84 @@
+// Storeaudit: the app-store / regulator use case from the paper's
+// discussion (Section VII) — batch-audit a catalogue of apps for asymmetric
+// dark UI patterns and rank them by how aggressively they show AUIs.
+//
+//	go run ./examples/storeaudit
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/app"
+	"repro/internal/auigen"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sim"
+	"repro/internal/uikit"
+	"repro/internal/yolite"
+)
+
+type auditRow struct {
+	pkg        string
+	screens    int
+	auiScreens int
+	popups     int
+}
+
+func main() {
+	model := yolite.NewModel(7)
+	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
+		fmt.Println("no pretrained weights found; training a quick detector...")
+		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
+	}
+
+	// A small catalogue with different AUI aggressiveness levels.
+	catalogue := []app.Config{
+		{Package: "com.clean.notes", AUIProb: 0.001, GenSeed: 11},
+		{Package: "com.casual.game", MeanAUIInterval: 8 * time.Second, GenSeed: 12},
+		{Package: "com.free.video", MeanAUIInterval: 5 * time.Second, GenSeed: 13},
+		{Package: "com.deal.shop", MeanAUIInterval: 12 * time.Second, GenSeed: 14},
+	}
+
+	var rows []auditRow
+	for _, cfg := range catalogue {
+		clock := sim.NewClock(1)
+		screen := uikit.NewScreen(384, 640)
+		mgr := a11y.NewManager(clock, screen)
+		a := app.Launch(clock, mgr, cfg)
+		monkey := app.StartMonkey(clock, mgr, "auditor", 2*time.Second)
+
+		row := auditRow{pkg: cfg.Package}
+		svc := core.Start(clock, mgr, model, core.Config{Mode: core.ModeDetect})
+		svc.OnAnalysis = func(an core.Analysis) {
+			row.screens++
+			for _, d := range an.Detections {
+				if d.Class == dataset.ClassUPO {
+					row.auiScreens++
+					break
+				}
+			}
+		}
+		clock.RunUntil(2 * time.Minute)
+		monkey.Stop()
+		svc.Stop()
+		row.popups = len(a.History())
+		a.Stop()
+		rows = append(rows, row)
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		return float64(rows[i].auiScreens)/float64(rows[i].screens+1) >
+			float64(rows[j].auiScreens)/float64(rows[j].screens+1)
+	})
+	fmt.Println("store audit report (2 simulated minutes per app):")
+	fmt.Printf("%-18s %8s %12s %14s\n", "package", "screens", "AUI screens", "actual popups")
+	for _, r := range rows {
+		fmt.Printf("%-18s %8d %12d %14d\n", r.pkg, r.screens, r.auiScreens, r.popups)
+	}
+	fmt.Println("\napps at the top of the list warrant manual review before listing.")
+}

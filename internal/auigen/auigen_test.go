@@ -1,0 +1,243 @@
+package auigen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestAUIForEverySubject(t *testing.T) {
+	g := New(1, Config{})
+	for _, subj := range dataset.Subjects {
+		a := g.AUIFor(subj, 192, 280)
+		if a.Subject != subj {
+			t.Fatalf("subject = %v, want %v", a.Subject, subj)
+		}
+		if a.Root == nil {
+			t.Fatalf("%v: nil root", subj)
+		}
+		if len(a.UPOIDs) == 0 {
+			t.Fatalf("%v: AUI without a UPO", subj)
+		}
+		if len(a.Boxes) == 0 {
+			t.Fatalf("%v: no ground-truth boxes", subj)
+		}
+		// Every labelled box must be inside the content area.
+		area := geom.Rect{W: 192, H: 280}
+		for _, b := range a.Boxes {
+			if !area.ContainsRect(b.B.Rect().Intersect(area)) || b.B.Rect().Intersect(area).Empty() {
+				t.Fatalf("%v: box %v outside content area", subj, b.B)
+			}
+		}
+	}
+}
+
+func TestGroundTruthMatchesViews(t *testing.T) {
+	g := New(2, Config{})
+	for i := 0; i < 50; i++ {
+		a := g.AUI(192, 280)
+		// Every UPO id must resolve to a clickable view whose absolute
+		// bounds equal some labelled UPO box.
+		for _, id := range a.UPOIDs {
+			v := a.Root.FindByID(id)
+			if v == nil {
+				t.Fatalf("UPO id %q not in tree", id)
+			}
+			if !v.Clickable {
+				t.Fatalf("UPO %q not clickable", id)
+			}
+		}
+		for _, id := range a.AGOIDs {
+			if v := a.Root.FindByID(id); v == nil || !v.Clickable {
+				t.Fatalf("AGO id %q missing or not clickable", id)
+			}
+		}
+	}
+}
+
+func TestSubjectDistributionMatchesTable1(t *testing.T) {
+	g := New(3, Config{})
+	counts := map[dataset.Subject]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[dataset.SampleSubject(g.rng)]++
+	}
+	for subj, want := range dataset.SubjectWeights {
+		got := float64(counts[subj]) / n
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%v frequency = %.3f, want %.3f (Table I)", subj, got, want)
+		}
+	}
+}
+
+func TestAGOPresenceRate(t *testing.T) {
+	g := New(4, Config{})
+	total, withAGO := 0, 0
+	for i := 0; i < 600; i++ {
+		a := g.AUI(192, 280)
+		total++
+		if len(a.AGOIDs) > 0 {
+			withAGO++
+		}
+	}
+	got := float64(withAGO) / float64(total)
+	want := 744.0 / 1072.0
+	if math.Abs(got-want) > 0.06 {
+		t.Fatalf("AGO presence = %.3f, want ~%.3f (Table II marginals)", got, want)
+	}
+}
+
+func TestObfuscationChangesIDs(t *testing.T) {
+	plain := New(5, Config{})
+	obf := New(5, Config{ObfuscateIDs: true})
+	a := plain.AUIFor(dataset.SubjectAdvertisement, 192, 280)
+	b := obf.AUIFor(dataset.SubjectAdvertisement, 192, 280)
+	for _, id := range a.UPOIDs {
+		if id != "btn_close" {
+			t.Fatalf("plain UPO id = %q, want btn_close", id)
+		}
+	}
+	for _, id := range b.UPOIDs {
+		if id == "btn_close" {
+			t.Fatal("obfuscated generator leaked a semantic id")
+		}
+	}
+}
+
+func TestNonAUIStyles(t *testing.T) {
+	g := New(6, Config{})
+	for _, style := range negativeStyles {
+		n := g.NonAUIStyle(style, 180, 280)
+		if n.Root == nil || n.Style != style {
+			t.Fatalf("style %q: bad result %+v", style, n)
+		}
+		if len(n.Root.Children) == 0 {
+			t.Fatalf("style %q: empty screen", style)
+		}
+	}
+}
+
+func TestRenderAUISampleGeometry(t *testing.T) {
+	g := New(7, Config{})
+	cfg := DatasetConfig{}
+	a := g.AUIFor(dataset.SubjectSalesPromotion, 192, 280)
+	s := g.RenderAUI(a, cfg)
+	if s.Input.W != 96 || s.Input.H != 160 {
+		t.Fatalf("input size %dx%d", s.Input.W, s.Input.H)
+	}
+	if !s.IsAUI || s.Subject != dataset.SubjectSalesPromotion {
+		t.Fatalf("sample metadata: %+v", s)
+	}
+	for _, b := range s.Boxes {
+		if b.B.X < 0 || b.B.Y < 0 || b.B.X+b.B.W > 96+1 || b.B.Y+b.B.H > 160+1 {
+			t.Fatalf("scaled box %v escapes input", b.B)
+		}
+		if b.B.W <= 0 || b.B.H <= 0 {
+			t.Fatalf("degenerate scaled box %v", b.B)
+		}
+	}
+}
+
+func TestBuildAUISamplesDeterministic(t *testing.T) {
+	a := BuildAUISamples(11, 5, DatasetConfig{})
+	b := BuildAUISamples(11, 5, DatasetConfig{})
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Subject != b[i].Subject || len(a[i].Boxes) != len(b[i].Boxes) {
+			t.Fatalf("sample %d differs between identical seeds", i)
+		}
+		for p := range a[i].Input.Pix {
+			if a[i].Input.Pix[p] != b[i].Input.Pix[p] {
+				t.Fatalf("sample %d pixels differ", i)
+			}
+		}
+	}
+}
+
+func TestBuildNegativeSamples(t *testing.T) {
+	ss := BuildNegativeSamples(12, 4, DatasetConfig{})
+	for _, s := range ss {
+		if s.IsAUI || len(s.Boxes) != 0 {
+			t.Fatalf("negative sample mislabelled: %+v", s)
+		}
+	}
+}
+
+func TestMaskTextChangesPixels(t *testing.T) {
+	g1 := New(13, Config{})
+	g2 := New(13, Config{})
+	cfg := DatasetConfig{}
+	a1 := g1.AUIFor(dataset.SubjectAppUpgrade, 192, 280)
+	a2 := g2.AUIFor(dataset.SubjectAppUpgrade, 192, 280)
+	plain := g1.RenderAUI(a1, cfg)
+	masked := g2.RenderAUI(a2, DatasetConfig{MaskText: true})
+	diff := 0
+	for i := range plain.Input.Pix {
+		if plain.Input.Pix[i] != masked.Input.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("text masking changed nothing")
+	}
+	// Boxes must be identical: masking only blurs pixels.
+	if len(plain.Boxes) != len(masked.Boxes) {
+		t.Fatal("masking altered labels")
+	}
+}
+
+func TestLayoutStatisticsMatchPaper(t *testing.T) {
+	samples := BuildAUISamples(14, 400, DatasetConfig{})
+	st := dataset.MeasureLayout(samples)
+	if math.Abs(st.AGOCentralFrac-0.946) > 0.08 {
+		t.Errorf("AGO central fraction = %.3f, want ~0.946", st.AGOCentralFrac)
+	}
+	if math.Abs(st.UPOCornerFrac-0.731) > 0.12 {
+		t.Errorf("UPO corner fraction = %.3f, want ~0.731", st.UPOCornerFrac)
+	}
+}
+
+func TestUPOBoxesAreSmallAndAGOBoxesLarge(t *testing.T) {
+	samples := BuildAUISamples(15, 100, DatasetConfig{})
+	var upoArea, agoArea float64
+	var upoN, agoN int
+	for _, s := range samples {
+		for _, b := range s.Boxes {
+			if b.Class == dataset.ClassUPO {
+				upoArea += b.B.Area()
+				upoN++
+			} else {
+				agoArea += b.B.Area()
+				agoN++
+			}
+		}
+	}
+	if upoN == 0 || agoN == 0 {
+		t.Fatal("missing boxes")
+	}
+	if agoArea/float64(agoN) < 8*upoArea/float64(upoN) {
+		t.Fatalf("asymmetry too weak: mean AGO area %.1f vs UPO %.1f",
+			agoArea/float64(agoN), upoArea/float64(upoN))
+	}
+}
+
+func TestCJKLabels(t *testing.T) {
+	g := New(16, Config{CJK: true})
+	a := g.AUIFor(dataset.SubjectAdvertisement, 192, 280)
+	if a.Root == nil {
+		t.Fatal("CJK build failed")
+	}
+}
+
+func TestTooSmallAreaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny content area did not panic")
+		}
+	}()
+	New(1, Config{}).AUIFor(dataset.SubjectAdvertisement, 10, 10)
+}

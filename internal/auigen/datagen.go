@@ -1,0 +1,124 @@
+package auigen
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/uikit"
+)
+
+// DatasetConfig controls dataset rendering.
+type DatasetConfig struct {
+	// ScreenW/ScreenH is the simulated screen resolution screens are
+	// composed at. Zero means the default 192x320 (half the device
+	// resolution; exactly 2x the default model input).
+	ScreenW, ScreenH int
+	// InputW/InputH is the model input resolution samples are resampled
+	// to. Zero means the default 96x160.
+	InputW, InputH int
+	// MaskText blurs every recorded label region before resampling — the
+	// language-independence experiment of Table IV / Figure 7.
+	MaskText bool
+	// Gen configures the AUI generator itself.
+	Gen Config
+}
+
+func (c DatasetConfig) screen() (int, int) {
+	if c.ScreenW == 0 || c.ScreenH == 0 {
+		return 192, 320
+	}
+	return c.ScreenW, c.ScreenH
+}
+
+func (c DatasetConfig) input() (int, int) {
+	if c.InputW == 0 || c.InputH == 0 {
+		return 96, 160
+	}
+	return c.InputW, c.InputH
+}
+
+// RenderAUI composes one AUI over a random benign base screen and returns
+// the labelled sample at model input resolution.
+func (g *Generator) RenderAUI(a *AUI, cfg DatasetConfig) *dataset.Sample {
+	sw, sh := cfg.screen()
+	iw, ih := cfg.input()
+	screen := uikit.NewScreen(sw, sh)
+	content := screen.ContentFrame()
+
+	// Base app behind the AUI.
+	base := g.NonAUI(content.W, content.H)
+	screen.AddWindow(&uikit.Window{Owner: "base", Type: uikit.WindowApp, Frame: content, Root: base.Root})
+
+	frame := content
+	if a.FullScreen {
+		frame = screen.Bounds()
+		screen.StatusBarH, screen.NavBarH = 0, 0
+		frame = screen.Bounds()
+	}
+	// The builder sized the tree for (content.W, content.H); rebuild frame
+	// coordinates accordingly: full-screen AUIs are regenerated at full
+	// size by the caller giving the right (w, h), so here we only translate.
+	screen.AddWindow(&uikit.Window{Owner: "aui", Type: uikit.WindowDialog, Frame: frame, Root: a.Root})
+
+	canvas := screen.Render()
+	if cfg.MaskText {
+		for _, tr := range a.TextRects {
+			canvas.BoxBlur(tr.Translate(frame.X, frame.Y).Inset(-1), 3)
+		}
+	}
+	input := canvas.Downscale(iw, ih)
+	sx := float64(iw) / float64(sw)
+	sy := float64(ih) / float64(sh)
+
+	sample := &dataset.Sample{Input: input, Subject: a.Subject, IsAUI: true}
+	for _, b := range a.Boxes {
+		moved := geom.BoxF{X: b.B.X + float64(frame.X), Y: b.B.Y + float64(frame.Y), W: b.B.W, H: b.B.H}
+		sample.Boxes = append(sample.Boxes, dataset.Box{Class: b.Class, B: moved.Scale(sx, sy)})
+	}
+	return sample
+}
+
+// RenderNonAUI composes one benign screen and returns the unlabelled
+// negative sample.
+func (g *Generator) RenderNonAUI(cfg DatasetConfig) *dataset.Sample {
+	sw, sh := cfg.screen()
+	iw, ih := cfg.input()
+	screen := uikit.NewScreen(sw, sh)
+	content := screen.ContentFrame()
+	n := g.NonAUI(content.W, content.H)
+	screen.AddWindow(&uikit.Window{Owner: "app", Type: uikit.WindowApp, Frame: content, Root: n.Root})
+	return &dataset.Sample{Input: screen.Render().Downscale(iw, ih)}
+}
+
+// BuildAUISamples generates n labelled AUI samples — the D_aui equivalent.
+func BuildAUISamples(seed int64, n int, cfg DatasetConfig) []*dataset.Sample {
+	g := New(seed, cfg.Gen)
+	sw, sh := cfg.screen()
+	out := make([]*dataset.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		// Build against the content area; full-screen subjects re-target
+		// the full screen in RenderAUI, so size for the larger area when
+		// the builder requests it.
+		probe := uikit.NewScreen(sw, sh)
+		content := probe.ContentFrame()
+		a := g.AUI(content.W, content.H)
+		if a.FullScreen {
+			a = g.AUIFor(a.Subject, sw, sh)
+			a.FullScreen = true
+		}
+		out = append(out, g.RenderAUI(a, cfg))
+	}
+	return out
+}
+
+// BuildNegativeSamples generates n benign screens.
+func BuildNegativeSamples(seed int64, n int, cfg DatasetConfig) []*dataset.Sample {
+	g := New(seed, cfg.Gen)
+	out := make([]*dataset.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.RenderNonAUI(cfg))
+	}
+	return out
+}
+
+// PaperDatasetSize is the number of AUI screenshots in the paper's D_aui.
+const PaperDatasetSize = 1072

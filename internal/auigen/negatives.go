@@ -1,0 +1,162 @@
+package auigen
+
+import (
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/uikit"
+)
+
+// NonAUI is a generated benign screen. HasDecoyClose marks screens that
+// contain a small, hard-to-notice button that is *not* part of an asymmetric
+// pattern — the false-positive bait the paper describes ("a small Add to
+// Cart button in a UI with bad design").
+type NonAUI struct {
+	Root          *uikit.View
+	Style         string
+	HasDecoyClose bool
+}
+
+var negativeStyles = []string{"feed", "settings", "grid", "article", "chat"}
+
+// NonAUI builds a benign app screen of a random style for a w x h content
+// area.
+func (g *Generator) NonAUI(w, h int) *NonAUI {
+	style := negativeStyles[g.rng.Intn(len(negativeStyles))]
+	return g.NonAUIStyle(style, w, h)
+}
+
+// NonAUIStyle builds a benign screen of the named style.
+func (g *Generator) NonAUIStyle(style string, w, h int) *NonAUI {
+	n := &NonAUI{Style: style}
+	root := &uikit.View{ID: g.id("main_content"), Kind: uikit.KindContainer,
+		Bounds: geom.Rect{W: w, H: h}, Color: render.White}
+	switch style {
+	case "settings":
+		g.buildSettings(root, w, h)
+	case "grid":
+		n.HasDecoyClose = g.buildGrid(root, w, h)
+	case "article":
+		g.buildArticle(root, w, h)
+	case "chat":
+		g.buildChat(root, w, h)
+	default: // feed
+		n.HasDecoyClose = g.buildFeed(root, w, h)
+	}
+	n.Root = root
+	return n
+}
+
+// buildFeed renders a list feed; sometimes a row carries a small dismiss "x"
+// (a decoy) — bad design, but symmetric, hence not an AUI.
+func (g *Generator) buildFeed(root *uikit.View, w, h int) bool {
+	decoy := g.rng.Float64() < 0.35
+	rowH := h / 7
+	for i := 0; i < 7; i++ {
+		row := &uikit.View{ID: g.id("feed_row"), Kind: uikit.KindContainer,
+			Bounds: geom.Rect{X: 4, Y: i*rowH + 2, W: w - 8, H: rowH - 4},
+			Color:  g.pastel(), Corner: 4, Clickable: true}
+		row.Add(&uikit.View{Kind: uikit.KindImage,
+			Bounds: geom.Rect{X: 4, Y: 4, W: rowH - 12, H: rowH - 12},
+			Color:  g.vivid().WithAlpha(140), Corner: 3})
+		row.Add(&uikit.View{Kind: uikit.KindText,
+			Bounds: geom.Rect{X: rowH, Y: rowH / 4, W: w - rowH - 20, H: 10},
+			Text:   "LOREM IPSUM DOLOR", TextScale: 1, TextColor: render.DarkGray})
+		if decoy && i == 1 {
+			row.Add(&uikit.View{ID: g.id("row_dismiss"), Kind: uikit.KindIcon,
+				Bounds: geom.Rect{X: w - 24, Y: 3, W: 9, H: 9},
+				Cross:  true, CrossColor: render.Gray, Clickable: true, Alpha: 0.7})
+		}
+		root.Add(row)
+	}
+	return decoy
+}
+
+// buildSettings renders a settings list with toggles.
+func (g *Generator) buildSettings(root *uikit.View, w, h int) {
+	rowH := h / 9
+	for i := 0; i < 9; i++ {
+		y := i * rowH
+		root.Add(&uikit.View{Kind: uikit.KindText,
+			Bounds: geom.Rect{X: 8, Y: y + rowH/3, W: w / 2, H: 8},
+			Text:   "SETTING ITEM", TextScale: 1, TextColor: render.DarkGray})
+		toggle := render.Gray
+		if g.rng.Float64() < 0.5 {
+			toggle = render.Green
+		}
+		root.Add(&uikit.View{ID: g.id("toggle"), Kind: uikit.KindButton,
+			Bounds: geom.Rect{X: w - 34, Y: y + rowH/3, W: 24, H: 10},
+			Color:  toggle, Corner: 5, Clickable: true})
+		root.Add(&uikit.View{Kind: uikit.KindContainer,
+			Bounds: geom.Rect{X: 0, Y: y + rowH - 1, W: w, H: 1}, Color: render.LightGray})
+	}
+}
+
+// buildGrid renders a product grid; sometimes with the paper's classic
+// false-positive bait: a small low-contrast "add to cart" button.
+func (g *Generator) buildGrid(root *uikit.View, w, h int) bool {
+	decoy := g.rng.Float64() < 0.5
+	cw := (w - 18) / 2
+	ch := h / 4
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 2; col++ {
+			cell := &uikit.View{ID: g.id("grid_cell"), Kind: uikit.KindContainer,
+				Bounds: geom.Rect{X: 6 + col*(cw+6), Y: 6 + row*(ch+6), W: cw, H: ch},
+				Color:  g.pastel(), Corner: 5, Clickable: true}
+			cell.Add(&uikit.View{Kind: uikit.KindImage,
+				Bounds: geom.Rect{X: 4, Y: 4, W: cw - 8, H: ch / 2},
+				Color:  g.vivid().WithAlpha(160), Corner: 3})
+			cell.Add(&uikit.View{Kind: uikit.KindText,
+				Bounds: geom.Rect{X: 4, Y: ch/2 + 8, W: cw - 8, H: 8},
+				Text:   "$ 9.99", TextScale: 1, TextColor: render.DarkGray})
+			if decoy && row == 0 && col == 1 {
+				cell.Add(&uikit.View{ID: g.id("add_cart"), Kind: uikit.KindButton,
+					Bounds: geom.Rect{X: cw - 16, Y: ch - 14, W: 12, H: 10},
+					Color:  render.LightGray, Corner: 3, Text: "+", TextScale: 1,
+					TextColor: render.Gray, Clickable: true, Alpha: 0.8})
+			}
+			root.Add(cell)
+		}
+	}
+	return decoy
+}
+
+// buildArticle renders a text page.
+func (g *Generator) buildArticle(root *uikit.View, w, h int) {
+	root.Add(&uikit.View{Kind: uikit.KindText,
+		Bounds: geom.Rect{X: 8, Y: 10, W: w - 16, H: 14},
+		Text:   "DAILY NEWS REPORT", TextScale: 1, TextColor: render.Black})
+	for i := 0; i < 12; i++ {
+		lw := w - 16 - g.rng.Intn(w/4)
+		root.Add(&uikit.View{Kind: uikit.KindContainer,
+			Bounds: geom.Rect{X: 8, Y: 36 + i*14, W: lw, H: 6},
+			Color:  render.LightGray})
+	}
+	root.Add(&uikit.View{ID: g.id("share_btn"), Kind: uikit.KindButton,
+		Bounds: geom.Rect{X: w/2 - 30, Y: h - 30, W: 60, H: 16},
+		Color:  render.Blue, Corner: 8, Text: "SHARE", TextScale: 1,
+		TextColor: render.White, Clickable: true})
+}
+
+// buildChat renders a message thread.
+func (g *Generator) buildChat(root *uikit.View, w, h int) {
+	for i := 0; i < 6; i++ {
+		mine := i%2 == 1
+		bw := w/2 + g.rng.Intn(w/5)
+		x := 6
+		col := render.LightGray
+		if mine {
+			x = w - bw - 6
+			col = render.RGB(180, 230, 160)
+		}
+		root.Add(&uikit.View{Kind: uikit.KindContainer,
+			Bounds: geom.Rect{X: x, Y: 8 + i*(h/7), W: bw, H: h/7 - 10},
+			Color:  col, Corner: 6})
+	}
+	root.Add(&uikit.View{ID: g.id("chat_input"), Kind: uikit.KindContainer,
+		Bounds: geom.Rect{X: 4, Y: h - 20, W: w - 50, H: 16},
+		Color:  render.LightGray, Corner: 8, Clickable: true})
+	root.Add(&uikit.View{ID: g.id("chat_send"), Kind: uikit.KindButton,
+		Bounds: geom.Rect{X: w - 42, Y: h - 20, W: 38, H: 16},
+		Color:  render.Green, Corner: 8, Text: "SEND", TextScale: 1,
+		TextColor: render.White, Clickable: true})
+}

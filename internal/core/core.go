@@ -1,0 +1,337 @@
+// Package core implements DARPA itself — the paper's contribution: an
+// accessibility-service app that (1) subscribes to all 23 accessibility
+// events, (2) debounces UI-update storms with a cut-off interval ct
+// (Section IV-B), (3) screenshots the stable UI and runs the ported CV
+// detector, (4) calibrates coordinates with the anchor-view offset trick
+// (Section IV-D / Figure 4), (5) draws decoration overlays around the
+// detected AGO/UPO, and optionally (6) auto-clicks the UPO to bypass the
+// dark pattern.
+//
+// Security hygiene follows Section IV-E: the screenshot buffer is zeroed
+// ("rinsed") immediately after inference, and the service needs no
+// capability beyond the accessibility surface itself.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/uikit"
+	"repro/internal/yolite"
+)
+
+// Mode selects how much of the pipeline runs — the incremental rows of
+// Table VII.
+type Mode int
+
+// Pipeline modes. They begin at 1 so the zero value is detectably invalid;
+// Config treats 0 as ModeFull.
+const (
+	// ModeMonitor only subscribes to events and debounces (row
+	// "Baseline + UI monitoring").
+	ModeMonitor Mode = iota + 1
+	// ModeDetect adds screenshots + CV inference (row "+ AUI detection").
+	ModeDetect
+	// ModeFull adds UI decoration (the complete DARPA).
+	ModeFull
+)
+
+// Config parameterises the service. The zero value is the paper's deployed
+// configuration (ct = 200ms, full pipeline, decoration only).
+type Config struct {
+	// Cutoff is ct: the quiet period after the last UI event before a
+	// screenshot is taken. Zero means 200ms (Section VI-E).
+	Cutoff time.Duration
+	// NotificationDelay is the AccessibilityServiceInfo notification
+	// timeout used at registration (Section V registers DARPA with 200ms).
+	// It coalesces same-type event bursts before they even reach ct
+	// debouncing. Zero means 0 (deliver everything); the deployed profile
+	// sets it explicitly.
+	NotificationDelay time.Duration
+	// ConfThresh is the detector's objectness threshold. Zero means
+	// yolite.DefaultConfThresh.
+	ConfThresh float64
+	// Mode truncates the pipeline for overhead decomposition. Zero means
+	// ModeFull.
+	Mode Mode
+	// AutoBypass clicks the best UPO instead of only decorating — the
+	// alternative option of Section IV-D.
+	AutoBypass bool
+	// DisableCalibration skips the anchor-view offset correction,
+	// reproducing the Figure 4(a) misplacement for the ablation bench.
+	DisableCalibration bool
+	// UPOColor/AGOColor are the decoration colours (user-customisable per
+	// Section IV-D). Zero values mean green/red.
+	UPOColor, AGOColor render.Color
+	// StrokeWidth is the decoration border width; zero means 3.
+	StrokeWidth int
+}
+
+func (c Config) cutoff() time.Duration {
+	if c.Cutoff == 0 {
+		return 200 * time.Millisecond
+	}
+	return c.Cutoff
+}
+
+func (c Config) confThresh() float64 {
+	if c.ConfThresh == 0 {
+		return yolite.DefaultConfThresh
+	}
+	return c.ConfThresh
+}
+
+func (c Config) mode() Mode {
+	if c.Mode == 0 {
+		return ModeFull
+	}
+	return c.Mode
+}
+
+func (c Config) upoColor() render.Color {
+	if c.UPOColor.A == 0 {
+		return render.Green
+	}
+	return c.UPOColor
+}
+
+func (c Config) agoColor() render.Color {
+	if c.AGOColor.A == 0 {
+		return render.Red
+	}
+	return c.AGOColor
+}
+
+func (c Config) strokeWidth() int {
+	if c.StrokeWidth == 0 {
+		return 3
+	}
+	return c.StrokeWidth
+}
+
+// Stats counts service activity for the overhead model.
+type Stats struct {
+	// EventsSeen counts accessibility callbacks received.
+	EventsSeen int
+	// Debounced counts callbacks that reset a pending ct timer (work
+	// avoided).
+	Debounced int
+	// Analyses counts screenshot+inference cycles.
+	Analyses int
+	// AUIFlagged counts analyses that detected at least one option.
+	AUIFlagged int
+	// DecorationsDrawn counts decoration views added.
+	DecorationsDrawn int
+	// Bypasses counts auto-clicks dispatched.
+	Bypasses int
+	// Rinses counts screenshot buffers zeroed after use.
+	Rinses int
+}
+
+// Analysis is one recorded detection cycle.
+type Analysis struct {
+	At         time.Duration
+	Package    string
+	Detections []metrics.Detection // screen coordinates
+}
+
+// Service is the running DARPA instance.
+type Service struct {
+	cfg      Config
+	clock    *sim.Clock
+	mgr      *a11y.Manager
+	detector yolite.Predictor
+
+	pending     *sim.Event
+	lastPkg     string
+	decorations []*uikit.Window
+	stats       Stats
+	log         []Analysis
+	stopped     bool
+	// OnAnalysis, when non-nil, observes each analysis as it happens.
+	OnAnalysis func(Analysis)
+}
+
+// Start registers DARPA on the accessibility manager and returns the
+// running service. detector is the ported on-device model (or any
+// yolite.Predictor).
+func Start(clock *sim.Clock, mgr *a11y.Manager, detector yolite.Predictor, cfg Config) *Service {
+	if detector == nil && cfg.mode() != ModeMonitor {
+		panic("core: Start requires a detector unless running monitor-only")
+	}
+	s := &Service{cfg: cfg, clock: clock, mgr: mgr, detector: detector}
+	// Event registration (Fig. 5 step 1): all 23 event types.
+	mgr.Register(a11y.TypeAllMask, cfg.NotificationDelay, s.onEvent)
+	return s
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// Log returns every analysis performed so far.
+func (s *Service) Log() []Analysis {
+	out := make([]Analysis, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// Stop cancels pending work and removes any decoration overlays. The
+// registration itself stays (the simulated AS has no unregister, like a
+// disabled service that ignores callbacks).
+func (s *Service) Stop() {
+	s.stopped = true
+	if s.pending != nil {
+		s.pending.Cancel()
+	}
+	s.clearDecorations()
+}
+
+// onEvent is the accessibility callback (Fig. 5 step 2): every UI change
+// re-arms the ct timer, so analysis happens only once the UI has been quiet
+// for ct — the paper's insight that AUIs must stay on screen long enough to
+// be seen.
+func (s *Service) onEvent(e a11y.Event) {
+	if s.stopped {
+		return
+	}
+	s.stats.EventsSeen++
+	s.lastPkg = e.Package
+	if s.pending != nil && !s.pending.Cancelled() {
+		s.pending.Cancel()
+		s.stats.Debounced++
+	}
+	s.pending = s.clock.Schedule(s.cfg.cutoff(), s.analyze)
+}
+
+// analyze runs one detection cycle (Fig. 5 steps 3-5).
+func (s *Service) analyze() {
+	if s.stopped {
+		return
+	}
+	s.pending = nil
+	// Remove previous decorations before the screenshot so they are not
+	// re-detected (Fig. 5, "remove its previous AUI decoration").
+	s.clearDecorations()
+	if s.cfg.mode() == ModeMonitor {
+		return
+	}
+	shot := s.mgr.TakeScreenshot()
+	x := yolite.CanvasToTensor(shot)
+	dets := s.detector.PredictTensor(x, 0, s.cfg.confThresh())
+	// Rinse: discard the captured pixels immediately after inference
+	// (Section IV-E).
+	shot.Zero()
+	s.stats.Rinses++
+	s.stats.Analyses++
+	// Scale detections from model input to screen coordinates.
+	screen := s.mgr.Screen()
+	sx := float64(screen.W) / float64(yolite.InputW)
+	sy := float64(screen.H) / float64(yolite.InputH)
+	for i := range dets {
+		dets[i].B = dets[i].B.Scale(sx, sy)
+	}
+	rec := Analysis{At: s.clock.Now(), Package: s.lastPkg, Detections: dets}
+	s.log = append(s.log, rec)
+	if len(dets) > 0 {
+		s.stats.AUIFlagged++
+		if s.cfg.mode() == ModeFull {
+			s.decorate(dets)
+		}
+	}
+	// Observers run after decoration (they can inspect the overlays) but
+	// before auto-bypass (which mutates the very UI being observed).
+	if s.OnAnalysis != nil {
+		s.OnAnalysis(rec)
+	}
+	if len(dets) > 0 && s.cfg.AutoBypass {
+		s.bypass(dets)
+	}
+}
+
+// decorate draws a high-contrast border overlay around each detected option
+// (Section IV-D), calibrating window coordinates with the anchor-view
+// offset.
+func (s *Service) decorate(dets []metrics.Detection) {
+	offset := s.mgr.WindowOffset()
+	top := s.mgr.Screen().TopWindow()
+	winOrigin := geom.Pt{}
+	if top != nil {
+		winOrigin = geom.Pt{X: top.Frame.X, Y: top.Frame.Y}
+	}
+	for _, d := range dets {
+		r := d.B.Rect().Inset(-s.cfg.strokeWidth())
+		// WindowManager.addView positions views relative to the app
+		// window; the model reports screen coordinates. Calibration
+		// subtracts the anchor-view offset (Figure 6 lines 8-9).
+		lp := geom.Pt{X: r.X, Y: r.Y}
+		if !s.cfg.DisableCalibration {
+			lp = lp.Sub(offset)
+		}
+		frame := geom.Rect{X: winOrigin.X + lp.X, Y: winOrigin.Y + lp.Y, W: r.W, H: r.H}
+		col := s.cfg.agoColor()
+		if d.Class == dataset.ClassUPO {
+			col = s.cfg.upoColor()
+		}
+		w := s.mgr.AddOverlay("org.darpa.aui", frame, decorationView(frame, s.cfg.strokeWidth(), col))
+		s.decorations = append(s.decorations, w)
+		s.stats.DecorationsDrawn++
+	}
+}
+
+// decorationView builds the border view used as decoration content.
+func decorationView(frame geom.Rect, width int, col render.Color) *uikit.View {
+	root := &uikit.View{ID: "darpa_decoration", Kind: uikit.KindImage,
+		Bounds: geom.Rect{W: frame.W, H: frame.H}}
+	root.Add(
+		&uikit.View{Kind: uikit.KindImage, Bounds: geom.Rect{W: frame.W, H: width}, Color: col},
+		&uikit.View{Kind: uikit.KindImage, Bounds: geom.Rect{Y: frame.H - width, W: frame.W, H: width}, Color: col},
+		&uikit.View{Kind: uikit.KindImage, Bounds: geom.Rect{Y: width, W: width, H: frame.H - 2*width}, Color: col},
+		&uikit.View{Kind: uikit.KindImage, Bounds: geom.Rect{X: frame.W - width, Y: width, W: width, H: frame.H - 2*width}, Color: col},
+	)
+	return root
+}
+
+// bypass auto-clicks the detected UPO regions, highest confidence first
+// (Section IV-D's "automatically sends a click event to the UPO region").
+// Up to three regions are tried: a benign false positive absorbs one click
+// harmlessly, while the real close button still gets hit.
+func (s *Service) bypass(dets []metrics.Detection) {
+	var upos []metrics.Detection
+	for _, d := range dets {
+		if d.Class == dataset.ClassUPO {
+			upos = append(upos, d)
+		}
+	}
+	if len(upos) == 0 {
+		return
+	}
+	sort.SliceStable(upos, func(i, j int) bool { return upos[i].Score > upos[j].Score })
+	if len(upos) > 3 {
+		upos = upos[:3]
+	}
+	s.stats.Bypasses++
+	for _, d := range upos {
+		s.mgr.DispatchClick(d.B.Rect().Center())
+	}
+}
+
+// clearDecorations removes every decoration overlay.
+func (s *Service) clearDecorations() {
+	for _, w := range s.decorations {
+		s.mgr.RemoveOverlay(w)
+	}
+	s.decorations = s.decorations[:0]
+}
+
+// Decorations returns the decoration overlay windows currently on screen.
+func (s *Service) Decorations() []*uikit.Window {
+	out := make([]*uikit.Window, len(s.decorations))
+	copy(out, s.decorations)
+	return out
+}

@@ -1,0 +1,247 @@
+// Package dataset defines the ground-truth data model of the reproduction's
+// D_aui equivalent: labelled screenshots with AGO/UPO bounding boxes, the
+// AUI subject taxonomy of Table I, the 6:2:2 train/validation/test split of
+// Table II, and the statistics reported in Section III-A.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+// Class labels the two UI-option classes the detector localises. The values
+// double as head indices, so they intentionally start at zero.
+type Class int
+
+// The two option classes of an asymmetric dark UI.
+const (
+	// ClassAGO is the App-Guided Option: the big, central, high-contrast
+	// option that benefits the developer.
+	ClassAGO Class = 0
+	// ClassUPO is the User-Preferred Option: the small, peripheral,
+	// low-contrast option the user actually wants.
+	ClassUPO Class = 1
+	// NumClasses is the number of option classes.
+	NumClasses = 2
+)
+
+// String names the class like the paper does.
+func (c Class) String() string {
+	switch c {
+	case ClassAGO:
+		return "AGO"
+	case ClassUPO:
+		return "UPO"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Subject classifies an AUI by app context, the taxonomy of Table I.
+type Subject int
+
+// AUI subjects in Table I order. They begin at 1 so the zero value is
+// detectably invalid.
+const (
+	SubjectAdvertisement Subject = iota + 1
+	SubjectSalesPromotion
+	SubjectLuckyMoney
+	SubjectAppUpgrade
+	SubjectOperationGuide
+	SubjectFeedbackRequest
+	SubjectPermissionRequest
+)
+
+// Subjects lists all subjects in Table I order.
+var Subjects = []Subject{
+	SubjectAdvertisement, SubjectSalesPromotion, SubjectLuckyMoney,
+	SubjectAppUpgrade, SubjectOperationGuide, SubjectFeedbackRequest,
+	SubjectPermissionRequest,
+}
+
+var subjectNames = map[Subject]string{
+	SubjectAdvertisement:     "Advertisement",
+	SubjectSalesPromotion:    "Sales promotion",
+	SubjectLuckyMoney:        "Lucky money (Red packet)",
+	SubjectAppUpgrade:        "App upgrade",
+	SubjectOperationGuide:    "Operation guide",
+	SubjectFeedbackRequest:   "Feedback request",
+	SubjectPermissionRequest: "Sensitive permission request",
+}
+
+// String returns the Table I row name for the subject.
+func (s Subject) String() string {
+	if n, ok := subjectNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("subject(%d)", int(s))
+}
+
+// SubjectWeights is the empirical subject distribution of Table I
+// (instances out of 1,072).
+var SubjectWeights = map[Subject]float64{
+	SubjectAdvertisement:     696.0 / 1072.0,
+	SubjectSalesPromotion:    179.0 / 1072.0,
+	SubjectLuckyMoney:        131.0 / 1072.0,
+	SubjectAppUpgrade:        43.0 / 1072.0,
+	SubjectOperationGuide:    16.0 / 1072.0,
+	SubjectFeedbackRequest:   4.0 / 1072.0,
+	SubjectPermissionRequest: 3.0 / 1072.0,
+}
+
+// SampleSubject draws a subject from the Table I distribution.
+func SampleSubject(rng *rand.Rand) Subject {
+	r := rng.Float64()
+	acc := 0.0
+	for _, s := range Subjects {
+		acc += SubjectWeights[s]
+		if r < acc {
+			return s
+		}
+	}
+	return SubjectAdvertisement
+}
+
+// Box is one labelled option: a class plus its bounding box. Coordinates are
+// in the coordinate system of the Sample's Input canvas (COCO-style absolute
+// pixel boxes).
+type Box struct {
+	Class Class
+	B     geom.BoxF
+}
+
+// Sample is one labelled screenshot.
+type Sample struct {
+	// Input is the rendered screenshot at model input resolution.
+	Input *render.Canvas
+	// Boxes holds the ground-truth options in Input coordinates.
+	Boxes []Box
+	// Subject is the AUI context (zero for non-AUI screens).
+	Subject Subject
+	// IsAUI reports whether the screenshot contains an asymmetric dark UI.
+	IsAUI bool
+}
+
+// CountBoxes returns the number of boxes of class c.
+func (s *Sample) CountBoxes(c Class) int {
+	n := 0
+	for _, b := range s.Boxes {
+		if b.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Split is the 6:2:2 partition of Table II.
+type Split struct {
+	Train, Val, Test []*Sample
+}
+
+// SplitSamples shuffles samples deterministically with rng and partitions
+// them 6:2:2 into train/validation/test, the ratio of Section VI-A.
+func SplitSamples(samples []*Sample, rng *rand.Rand) Split {
+	shuffled := make([]*Sample, len(samples))
+	copy(shuffled, samples)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	nTrain := len(shuffled) * 6 / 10
+	nVal := len(shuffled) * 2 / 10
+	return Split{
+		Train: shuffled[:nTrain],
+		Val:   shuffled[nTrain : nTrain+nVal],
+		Test:  shuffled[nTrain+nVal:],
+	}
+}
+
+// SubjectCounts tallies samples per subject — the measured Table I.
+func SubjectCounts(samples []*Sample) map[Subject]int {
+	out := make(map[Subject]int)
+	for _, s := range samples {
+		if s.IsAUI {
+			out[s.Subject]++
+		}
+	}
+	return out
+}
+
+// SetStats describes one row of Table II.
+type SetStats struct {
+	Name  string
+	AGO   int
+	UPO   int
+	Total int
+}
+
+// SplitStats computes the AGO/UPO box counts and screenshot totals per set —
+// the measured Table II.
+func SplitStats(sp Split) []SetStats {
+	row := func(name string, ss []*Sample) SetStats {
+		st := SetStats{Name: name, Total: len(ss)}
+		for _, s := range ss {
+			st.AGO += s.CountBoxes(ClassAGO)
+			st.UPO += s.CountBoxes(ClassUPO)
+		}
+		return st
+	}
+	rows := []SetStats{
+		row("Training Set", sp.Train),
+		row("Validation Set", sp.Val),
+		row("Testing Set", sp.Test),
+	}
+	total := SetStats{Name: "Total"}
+	for _, r := range rows {
+		total.AGO += r.AGO
+		total.UPO += r.UPO
+		total.Total += r.Total
+	}
+	return append(rows, total)
+}
+
+// LayoutStats captures the placement statistics of Section III-A: the
+// fraction of AUIs whose AGO is central and whose UPO sits in a corner.
+type LayoutStats struct {
+	AGOCentralFrac float64
+	UPOCornerFrac  float64
+}
+
+// MeasureLayout computes LayoutStats over AUI samples. An AGO is "central"
+// when its centre falls within the middle third of the canvas horizontally;
+// a UPO is in a "corner" when its centre lies in the outer 22% of both axes.
+func MeasureLayout(samples []*Sample) LayoutStats {
+	var agoTotal, agoCentral, upoTotal, upoCorner int
+	for _, s := range samples {
+		if !s.IsAUI {
+			continue
+		}
+		w := float64(s.Input.W)
+		h := float64(s.Input.H)
+		for _, b := range s.Boxes {
+			cx, cy := b.B.CenterX(), b.B.CenterY()
+			switch b.Class {
+			case ClassAGO:
+				agoTotal++
+				if cx > w/3 && cx < 2*w/3 {
+					agoCentral++
+				}
+			case ClassUPO:
+				upoTotal++
+				edgeX := cx < 0.22*w || cx > 0.78*w
+				edgeY := cy < 0.22*h || cy > 0.78*h
+				if edgeX && edgeY {
+					upoCorner++
+				}
+			}
+		}
+	}
+	st := LayoutStats{}
+	if agoTotal > 0 {
+		st.AGOCentralFrac = float64(agoCentral) / float64(agoTotal)
+	}
+	if upoTotal > 0 {
+		st.UPOCornerFrac = float64(upoCorner) / float64(upoTotal)
+	}
+	return st
+}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+func mkSample(isAUI bool, subj Subject, boxes ...Box) *Sample {
+	return &Sample{Input: render.NewCanvas(96, 160), Boxes: boxes, Subject: subj, IsAUI: isAUI}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassAGO.String() != "AGO" || ClassUPO.String() != "UPO" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class should format")
+	}
+}
+
+func TestSubjectStringTable1Names(t *testing.T) {
+	if SubjectAdvertisement.String() != "Advertisement" {
+		t.Fatalf("got %q", SubjectAdvertisement.String())
+	}
+	if SubjectLuckyMoney.String() != "Lucky money (Red packet)" {
+		t.Fatalf("got %q", SubjectLuckyMoney.String())
+	}
+}
+
+func TestSubjectWeightsSumToOne(t *testing.T) {
+	var sum float64
+	for _, s := range Subjects {
+		sum += SubjectWeights[s]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestSampleSubjectCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[Subject]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[SampleSubject(rng)] = true
+	}
+	for _, s := range Subjects {
+		if !seen[s] {
+			t.Errorf("subject %v never sampled", s)
+		}
+	}
+}
+
+func TestCountBoxes(t *testing.T) {
+	s := mkSample(true, SubjectAdvertisement,
+		Box{Class: ClassAGO, B: geom.BoxF{X: 10, Y: 10, W: 40, H: 12}},
+		Box{Class: ClassUPO, B: geom.BoxF{X: 85, Y: 3, W: 6, H: 6}},
+		Box{Class: ClassUPO, B: geom.BoxF{X: 3, Y: 3, W: 6, H: 6}},
+	)
+	if s.CountBoxes(ClassAGO) != 1 || s.CountBoxes(ClassUPO) != 2 {
+		t.Fatal("box counts wrong")
+	}
+}
+
+func TestSplitRatios(t *testing.T) {
+	var samples []*Sample
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, mkSample(true, SubjectAdvertisement))
+	}
+	sp := SplitSamples(samples, rand.New(rand.NewSource(2)))
+	if len(sp.Train) != 600 || len(sp.Val) != 200 || len(sp.Test) != 200 {
+		t.Fatalf("split sizes %d/%d/%d, want 600/200/200", len(sp.Train), len(sp.Val), len(sp.Test))
+	}
+}
+
+func TestSplitIsPartition(t *testing.T) {
+	var samples []*Sample
+	for i := 0; i < 97; i++ {
+		samples = append(samples, mkSample(true, SubjectAdvertisement))
+	}
+	sp := SplitSamples(samples, rand.New(rand.NewSource(3)))
+	seen := map[*Sample]int{}
+	for _, s := range sp.Train {
+		seen[s]++
+	}
+	for _, s := range sp.Val {
+		seen[s]++
+	}
+	for _, s := range sp.Test {
+		seen[s]++
+	}
+	if len(seen) != 97 {
+		t.Fatalf("partition covers %d samples, want 97", len(seen))
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %p appears %d times", s, n)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	var samples []*Sample
+	for i := 0; i < 50; i++ {
+		samples = append(samples, mkSample(true, SubjectAdvertisement))
+	}
+	a := SplitSamples(samples, rand.New(rand.NewSource(4)))
+	b := SplitSamples(samples, rand.New(rand.NewSource(4)))
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSubjectCounts(t *testing.T) {
+	samples := []*Sample{
+		mkSample(true, SubjectAdvertisement),
+		mkSample(true, SubjectAdvertisement),
+		mkSample(true, SubjectLuckyMoney),
+		mkSample(false, 0), // non-AUI must not be counted
+	}
+	counts := SubjectCounts(samples)
+	if counts[SubjectAdvertisement] != 2 || counts[SubjectLuckyMoney] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, ok := counts[0]; ok {
+		t.Fatal("non-AUI counted")
+	}
+}
+
+func TestSplitStats(t *testing.T) {
+	mk := func() *Sample {
+		return mkSample(true, SubjectAdvertisement,
+			Box{Class: ClassAGO, B: geom.BoxF{W: 10, H: 10}},
+			Box{Class: ClassUPO, B: geom.BoxF{W: 5, H: 5}})
+	}
+	var samples []*Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, mk())
+	}
+	sp := SplitSamples(samples, rand.New(rand.NewSource(5)))
+	rows := SplitStats(sp)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (three sets + total)", len(rows))
+	}
+	total := rows[3]
+	if total.AGO != 10 || total.UPO != 10 || total.Total != 10 {
+		t.Fatalf("total row %+v", total)
+	}
+	if rows[0].Name != "Training Set" || rows[0].Total != 6 {
+		t.Fatalf("training row %+v", rows[0])
+	}
+}
+
+func TestMeasureLayout(t *testing.T) {
+	samples := []*Sample{
+		mkSample(true, SubjectAdvertisement,
+			Box{Class: ClassAGO, B: geom.BoxF{X: 28, Y: 100, W: 40, H: 14}}, // centred
+			Box{Class: ClassUPO, B: geom.BoxF{X: 88, Y: 3, W: 6, H: 6}},     // corner
+		),
+		mkSample(true, SubjectAppUpgrade,
+			Box{Class: ClassAGO, B: geom.BoxF{X: 0, Y: 100, W: 20, H: 14}}, // off-centre
+			Box{Class: ClassUPO, B: geom.BoxF{X: 40, Y: 80, W: 16, H: 8}},  // inline
+		),
+	}
+	st := MeasureLayout(samples)
+	if st.AGOCentralFrac != 0.5 {
+		t.Fatalf("AGO central = %v, want 0.5", st.AGOCentralFrac)
+	}
+	if st.UPOCornerFrac != 0.5 {
+		t.Fatalf("UPO corner = %v, want 0.5", st.UPOCornerFrac)
+	}
+}
+
+func TestMeasureLayoutEmpty(t *testing.T) {
+	st := MeasureLayout(nil)
+	if st.AGOCentralFrac != 0 || st.UPOCornerFrac != 0 {
+		t.Fatalf("empty layout stats %+v", st)
+	}
+}

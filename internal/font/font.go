@@ -1,0 +1,146 @@
+// Package font implements a tiny 5x7 bitmap font used to label buttons and
+// ad copy in the synthetic UI dataset. Real AUI screenshots contain text; the
+// text-masking experiment of the paper (Table IV) shows the detector does not
+// rely on it, so the reproduction needs text that can be drawn and blurred.
+//
+// Lowercase letters are rendered as smaller uppercase glyphs would be in a
+// 5x7 matrix; unknown runes render as a filled block, which is how CJK
+// characters appear at this resolution anyway — an intentional match for the
+// paper's claim that detection is language-independent.
+package font
+
+import (
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+// GlyphW and GlyphH are the pixel dimensions of one glyph at scale 1.
+const (
+	GlyphW = 5
+	GlyphH = 7
+	// Tracking is the horizontal spacing between glyphs at scale 1.
+	Tracking = 1
+)
+
+// glyphs maps runes to 7 rows of 5-bit patterns (MSB = leftmost pixel,
+// using the low 5 bits of each byte).
+var glyphs = map[rune][GlyphH]uint8{
+	' ':  {0, 0, 0, 0, 0, 0, 0},
+	'A':  {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C':  {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'D':  {0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110},
+	'E':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'F':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000},
+	'G':  {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111},
+	'H':  {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'I':  {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'J':  {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100},
+	'K':  {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001},
+	'L':  {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M':  {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N':  {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'Q':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101},
+	'R':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S':  {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T':  {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'U':  {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'V':  {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100},
+	'W':  {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010},
+	'X':  {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001},
+	'Y':  {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100},
+	'Z':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111},
+	'0':  {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1':  {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3':  {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4':  {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5':  {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6':  {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8':  {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9':  {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'!':  {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00000, 0b00100},
+	'?':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b00000, 0b00100},
+	'.':  {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b01100},
+	',':  {0b00000, 0b00000, 0b00000, 0b00000, 0b00110, 0b00100, 0b01000},
+	':':  {0b00000, 0b01100, 0b01100, 0b00000, 0b01100, 0b01100, 0b00000},
+	'-':  {0b00000, 0b00000, 0b00000, 0b11111, 0b00000, 0b00000, 0b00000},
+	'+':  {0b00000, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0b00000},
+	'/':  {0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000},
+	'%':  {0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011},
+	'$':  {0b00100, 0b01111, 0b10100, 0b01110, 0b00101, 0b11110, 0b00100},
+	'>':  {0b01000, 0b00100, 0b00010, 0b00001, 0b00010, 0b00100, 0b01000},
+	'<':  {0b00010, 0b00100, 0b01000, 0b10000, 0b01000, 0b00100, 0b00010},
+	'(':  {0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010},
+	')':  {0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000},
+	'*':  {0b00000, 0b10101, 0b01110, 0b11111, 0b01110, 0b10101, 0b00000},
+	'=':  {0b00000, 0b00000, 0b11111, 0b00000, 0b11111, 0b00000, 0b00000},
+	'\'': {0b00100, 0b00100, 0b01000, 0b00000, 0b00000, 0b00000, 0b00000},
+	// block is the fallback glyph for runes outside the table (e.g. CJK).
+	'�': {0b11111, 0b11111, 0b11111, 0b11111, 0b11111, 0b11111, 0b11111},
+}
+
+// Glyph returns the bit pattern for r, falling back to the block glyph for
+// unknown runes. Lowercase ASCII letters use their uppercase form.
+func Glyph(r rune) [GlyphH]uint8 {
+	if r >= 'a' && r <= 'z' {
+		r -= 'a' - 'A'
+	}
+	if g, ok := glyphs[r]; ok {
+		return g
+	}
+	return glyphs['�']
+}
+
+// Measure returns the pixel size of s drawn at the given integer scale
+// (scale < 1 is treated as 1).
+func Measure(s string, scale int) (w, h int) {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 0
+	for range s {
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return n*(GlyphW+Tracking)*scale - Tracking*scale, GlyphH * scale
+}
+
+// Draw renders s onto c with its top-left corner at (x, y), at the given
+// integer scale, and returns the bounding rectangle of the drawn text.
+func Draw(c *render.Canvas, x, y int, s string, scale int, col render.Color) geom.Rect {
+	if scale < 1 {
+		scale = 1
+	}
+	cx := x
+	for _, r := range s {
+		g := Glyph(r)
+		for row := 0; row < GlyphH; row++ {
+			bits := g[row]
+			for colIdx := 0; colIdx < GlyphW; colIdx++ {
+				if bits&(1<<(GlyphW-1-colIdx)) == 0 {
+					continue
+				}
+				for dy := 0; dy < scale; dy++ {
+					for dx := 0; dx < scale; dx++ {
+						c.Blend(cx+colIdx*scale+dx, y+row*scale+dy, col)
+					}
+				}
+			}
+		}
+		cx += (GlyphW + Tracking) * scale
+	}
+	w, h := Measure(s, scale)
+	return geom.Rect{X: x, Y: y, W: w, H: h}
+}
+
+// DrawCentered renders s centred inside r and returns its bounding box.
+func DrawCentered(c *render.Canvas, r geom.Rect, s string, scale int, col render.Color) geom.Rect {
+	w, h := Measure(s, scale)
+	return Draw(c, r.X+(r.W-w)/2, r.Y+(r.H-h)/2, s, scale, col)
+}

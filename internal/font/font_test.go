@@ -1,0 +1,113 @@
+package font
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+func countInk(c *render.Canvas) int {
+	n := 0
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if c.At(x, y).A != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMeasure(t *testing.T) {
+	w, h := Measure("ABC", 1)
+	if w != 3*(GlyphW+Tracking)-Tracking || h != GlyphH {
+		t.Fatalf("measure = %dx%d", w, h)
+	}
+	w2, h2 := Measure("ABC", 2)
+	if w2 != 2*w || h2 != 2*h {
+		t.Fatalf("scale-2 measure = %dx%d, want %dx%d", w2, h2, 2*w, 2*h)
+	}
+	if w, h := Measure("", 1); w != 0 || h != 0 {
+		t.Fatalf("empty measure = %dx%d", w, h)
+	}
+}
+
+func TestDrawProducesInk(t *testing.T) {
+	c := render.NewCanvas(100, 20)
+	r := Draw(c, 2, 2, "OPEN", 1, render.Black)
+	if countInk(c) == 0 {
+		t.Fatal("drawing text produced no pixels")
+	}
+	w, h := Measure("OPEN", 1)
+	if r != (geom.Rect{X: 2, Y: 2, W: w, H: h}) {
+		t.Fatalf("returned rect %v", r)
+	}
+}
+
+func TestDrawStaysInBounds(t *testing.T) {
+	c := render.NewCanvas(30, 10)
+	r := Draw(c, 1, 1, "HI", 1, render.Black)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if c.At(x, y).A != 0 && !r.Contains(geom.Pt{X: x, Y: y}) {
+				t.Fatalf("ink outside returned rect at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestLowercaseMapsToUppercase(t *testing.T) {
+	if Glyph('a') != Glyph('A') {
+		t.Fatal("lowercase glyph differs from uppercase")
+	}
+}
+
+func TestUnknownRuneFallsBack(t *testing.T) {
+	g := Glyph('关') // CJK "close" — outside the table
+	if g != Glyph('�') {
+		t.Fatal("unknown rune did not fall back to block glyph")
+	}
+	// Block glyph must be fully solid so CJK text still has ink density.
+	for _, row := range g {
+		if row != 0b11111 {
+			t.Fatal("block glyph is not solid")
+		}
+	}
+}
+
+func TestDistinctLetters(t *testing.T) {
+	seen := map[[GlyphH]uint8]rune{}
+	for r := 'A'; r <= 'Z'; r++ {
+		g := Glyph(r)
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("glyphs for %c and %c identical", prev, r)
+		}
+		seen[g] = r
+	}
+	for r := '0'; r <= '9'; r++ {
+		g := Glyph(r)
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("glyphs for %c and %c identical", prev, r)
+		}
+		seen[g] = r
+	}
+}
+
+func TestDrawCentered(t *testing.T) {
+	c := render.NewCanvas(60, 30)
+	box := geom.Rect{X: 0, Y: 0, W: 60, H: 30}
+	r := DrawCentered(c, box, "OK", 2, render.White)
+	cx, cy := r.Center().X, r.Center().Y
+	if cx < 27 || cx > 33 || cy < 12 || cy > 18 {
+		t.Fatalf("text centre at (%d,%d), want near (30,15)", cx, cy)
+	}
+}
+
+func TestScaleClampedToOne(t *testing.T) {
+	c := render.NewCanvas(40, 10)
+	Draw(c, 0, 0, "X", 0, render.Black)
+	if countInk(c) == 0 {
+		t.Fatal("scale-0 draw produced nothing; want clamped to 1")
+	}
+}

@@ -1,0 +1,134 @@
+package frauddroid
+
+import (
+	"testing"
+
+	"repro/internal/auigen"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/uikit"
+)
+
+func screenWithAUI(t *testing.T, obfuscate bool, seed int64) (*uikit.Screen, *auigen.AUI) {
+	t.Helper()
+	s := uikit.NewScreen(384, 640)
+	g := auigen.New(seed, auigen.Config{ObfuscateIDs: obfuscate})
+	content := s.ContentFrame()
+	base := g.NonAUI(content.W, content.H)
+	s.AddWindow(&uikit.Window{Owner: "app", Type: uikit.WindowApp, Frame: content, Root: base.Root})
+	aui := g.AUIFor(dataset.SubjectAdvertisement, content.W, content.H)
+	s.AddWindow(&uikit.Window{Owner: "app", Type: uikit.WindowDialog, Frame: content, Root: aui.Root})
+	return s, aui
+}
+
+func TestDetectsPlainAUI(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 20; seed++ {
+		s, _ := screenWithAUI(t, false, seed)
+		var d Detector
+		if d.DetectScreen(s).IsAUI {
+			found++
+		}
+	}
+	// With semantic ids the heuristic should catch nearly everything.
+	if found < 16 {
+		t.Fatalf("detected %d/20 un-obfuscated AUIs, want >= 16", found)
+	}
+}
+
+func TestObfuscationDefeatsDetector(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 20; seed++ {
+		s, _ := screenWithAUI(t, true, seed)
+		var d Detector
+		if d.DetectScreen(s).IsAUI {
+			found++
+		}
+	}
+	if found > 2 {
+		t.Fatalf("detected %d/20 obfuscated AUIs — id heuristics should collapse", found)
+	}
+}
+
+func TestUPORectMatchesView(t *testing.T) {
+	s, aui := screenWithAUI(t, false, 3)
+	var d Detector
+	res := d.DetectScreen(s)
+	if !res.IsAUI {
+		t.Skip("this seed was not detected; covered by aggregate test")
+	}
+	// Every reported UPO rect must correspond to an actual small clickable.
+	for _, r := range res.UPOs {
+		if r.Area() == 0 || float64(r.Area())/float64(s.Bounds().Area()) > 0.01 {
+			t.Fatalf("reported UPO rect %v not small", r)
+		}
+	}
+	_ = aui
+}
+
+func TestNegativeScreensMostlyPass(t *testing.T) {
+	flagged := 0
+	for seed := int64(0); seed < 30; seed++ {
+		s := uikit.NewScreen(384, 640)
+		g := auigen.New(seed+100, auigen.Config{})
+		content := s.ContentFrame()
+		n := g.NonAUI(content.W, content.H)
+		s.AddWindow(&uikit.Window{Owner: "app", Type: uikit.WindowApp, Frame: content, Root: n.Root})
+		var d Detector
+		if d.DetectScreen(s).IsAUI {
+			flagged++
+		}
+	}
+	// Some decoys ("row_dismiss") legitimately trip the heuristic — the
+	// paper reports 11/253 false alarms — but most benign screens pass.
+	if flagged > 8 {
+		t.Fatalf("flagged %d/30 benign screens", flagged)
+	}
+}
+
+func TestContextRequired(t *testing.T) {
+	// A small "close" button with no big clickable surface and no ad-ish ids
+	// must not be flagged.
+	views := []uikit.ViewInfo{
+		{ID: "btn_close", Bounds: geom.Rect{X: 370, Y: 10, W: 10, H: 10}, Clickable: true},
+		{ID: "title", Bounds: geom.Rect{X: 0, Y: 0, W: 384, H: 40}},
+	}
+	var d Detector
+	if d.Detect(views, geom.Rect{W: 384, H: 640}).IsAUI {
+		t.Fatal("flagged a screen without AUI context")
+	}
+}
+
+func TestLargeCloseButtonNotUPO(t *testing.T) {
+	views := []uikit.ViewInfo{
+		{ID: "ad_container", Bounds: geom.Rect{W: 384, H: 640}, Clickable: true},
+		{ID: "btn_close", Bounds: geom.Rect{X: 50, Y: 50, W: 300, H: 300}, Clickable: true},
+	}
+	var d Detector
+	res := d.Detect(views, geom.Rect{W: 384, H: 640})
+	if res.IsAUI {
+		t.Fatal("a large close button is not a hidden UPO")
+	}
+}
+
+func TestEmptyDump(t *testing.T) {
+	var d Detector
+	if d.Detect(nil, geom.Rect{W: 384, H: 640}).IsAUI {
+		t.Fatal("empty dump flagged")
+	}
+	if d.Detect(nil, geom.Rect{}).IsAUI {
+		t.Fatal("zero screen flagged")
+	}
+}
+
+func TestMatchedIDsReported(t *testing.T) {
+	views := []uikit.ViewInfo{
+		{ID: "ad_container", Bounds: geom.Rect{W: 384, H: 640}, Clickable: true},
+		{ID: "ad_close_btn", Bounds: geom.Rect{X: 370, Y: 8, W: 10, H: 10}, Clickable: true},
+	}
+	var d Detector
+	res := d.Detect(views, geom.Rect{W: 384, H: 640})
+	if !res.IsAUI || len(res.MatchedIDs) != 1 || res.MatchedIDs[0] != "ad_close_btn" {
+		t.Fatalf("result %+v", res)
+	}
+}

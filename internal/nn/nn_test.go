@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func tinyNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential(
+		ConvBNAct(tensor.NewConv2D(rng, 1, 4, 3, 2, 1)),
+		ConvBNAct(tensor.NewConv2D(rng, 4, 4, 3, 1, 1)),
+		tensor.NewConv2D(rng, 4, 2, 1, 1, 0),
+	)
+}
+
+func TestSequentialForwardShape(t *testing.T) {
+	net := tinyNet(1)
+	x := tensor.New(1, 1, 8, 8)
+	y := net.Forward(x, false)
+	if y.Shape[1] != 2 || y.Shape[2] != 4 || y.Shape[3] != 4 {
+		t.Fatalf("output shape %v", y.Shape)
+	}
+}
+
+func TestSequentialParams(t *testing.T) {
+	net := tinyNet(1)
+	// 3 convs (W+B each) + 2 BNs (gamma+beta each) = 10 tensors.
+	if n := len(net.Params()); n != 10 {
+		t.Fatalf("params = %d, want 10", n)
+	}
+}
+
+func TestSequentialBackwardShape(t *testing.T) {
+	net := tinyNet(1)
+	x := tensor.New(2, 1, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	y := net.Forward(x, true)
+	dy := tensor.New(y.Shape...)
+	dy.Fill(0.1)
+	dx := net.Backward(dy)
+	if !dx.SameShape(x) {
+		t.Fatalf("dx shape %v, want %v", dx.Shape, x.Shape)
+	}
+	// Gradients must have reached the first conv.
+	var any bool
+	for _, g := range net.Params()[0].Grad {
+		if g != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		t.Fatal("no gradient reached the first layer")
+	}
+}
+
+func TestResidualForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	body := NewSequential(tensor.NewConv2D(rng, 2, 2, 3, 1, 1))
+	res := NewResidual(body)
+	x := tensor.New(1, 2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := res.Forward(x, false)
+	body2 := body.Forward(x, false)
+	for i := range y.Data {
+		want := body2.Data[i] + x.Data[i]
+		if math.Abs(float64(y.Data[i]-want)) > 1e-6 {
+			t.Fatalf("residual output mismatch at %d", i)
+		}
+	}
+}
+
+func TestResidualGradientIncludesSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := tensor.NewConv2D(rng, 1, 1, 3, 1, 1)
+	conv.W.Fill(0) // body contributes nothing
+	conv.B.Fill(0)
+	res := NewResidual(NewSequential(conv))
+	x := tensor.New(1, 1, 3, 3)
+	res.Forward(x, true)
+	dy := tensor.New(1, 1, 3, 3)
+	dy.Fill(1)
+	dx := res.Backward(dy)
+	// With a zero body, gradient must flow through the skip untouched.
+	for i := range dx.Data {
+		if dx.Data[i] != 1 {
+			t.Fatalf("skip gradient lost: dx=%v", dx.Data)
+		}
+	}
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-changing residual body did not panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(4))
+	res := NewResidual(NewSequential(tensor.NewConv2D(rng, 1, 2, 3, 1, 1)))
+	res.Forward(tensor.New(1, 1, 4, 4), false)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := tinyNet(5)
+	// Perturb running stats so they are distinguishable from defaults.
+	x := tensor.New(4, 1, 8, 8)
+	rng := rand.New(rand.NewSource(6))
+	for i := range x.Data {
+		x.Data[i] = rng.Float32() * 3
+	}
+	for i := 0; i < 5; i++ {
+		src.Forward(x, true)
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyNet(7) // different random init
+	if err := LoadWeights(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	ys, yd := src.Forward(x, false), dst.Forward(x, false)
+	for i := range ys.Data {
+		if ys.Data[i] != yd.Data[i] {
+			t.Fatalf("outputs differ after weight load at %d: %v vs %v", i, ys.Data[i], yd.Data[i])
+		}
+	}
+}
+
+func TestLoadWeightsArchMismatch(t *testing.T) {
+	src := tinyNet(8)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	other := NewSequential(tensor.NewConv2D(rng, 1, 4, 3, 2, 1))
+	if err := LoadWeights(&buf, other); err == nil {
+		t.Fatal("loading into a mismatched architecture should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	src := tinyNet(10)
+	if err := SaveWeightsFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyNet(11)
+	if err := LoadWeightsFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 8, 8)
+	ys, yd := src.Forward(x, false), dst.Forward(x, false)
+	for i := range ys.Data {
+		if ys.Data[i] != yd.Data[i] {
+			t.Fatal("file round trip lost weights")
+		}
+	}
+}
+
+func TestLoadWeightsFileMissing(t *testing.T) {
+	if err := LoadWeightsFile(filepath.Join(t.TempDir(), "nope.gob"), tinyNet(1)); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestCollectBNThroughResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewSequential(
+		NewResidual(ConvBNAct(tensor.NewConv2D(rng, 2, 2, 3, 1, 1))),
+		ConvBNAct(tensor.NewConv2D(rng, 2, 2, 3, 1, 1)),
+	)
+	if n := len(collectBN(net)); n != 2 {
+		t.Fatalf("collected %d BN layers, want 2", n)
+	}
+}

@@ -1,0 +1,140 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// deployed returns the activity of the deployed profile (ct = 200 ms) on
+// the 100-app x 1-minute workload: ~1 event/s delivered, ~0.13 analyses/s,
+// a decoration on roughly a third of analyses.
+func deployed() Activity {
+	return Activity{
+		Duration:        100 * time.Minute,
+		EventsDelivered: 6000,
+		Analyses:        770,
+		Decorations:     260,
+	}
+}
+
+func TestZeroActivityIsBaseline(t *testing.T) {
+	r := Estimate(Activity{Duration: time.Minute})
+	if r.CPUPct != BaselineCPU || r.MemMB != BaselineMemMB || r.FPS != BaselineFPS || r.PowerMW != BaselinePower {
+		t.Fatalf("idle report %+v differs from baseline", r)
+	}
+}
+
+func TestZeroDurationIsBaseline(t *testing.T) {
+	r := Estimate(Activity{})
+	if r.CPUPct != BaselineCPU {
+		t.Fatalf("zero-duration report %+v", r)
+	}
+}
+
+func TestDeployedProfileMatchesTable7Magnitudes(t *testing.T) {
+	r := Estimate(deployed())
+	cpu, mem, fps, power := r.Overhead()
+	// Table VII total overhead: +2.54 % CPU, +121.84 MB, -7 fps, +30.27 mW.
+	if cpu < 1.0 || cpu > 5.5 {
+		t.Errorf("CPU overhead %.2f%%, paper reports +2.54%%", cpu)
+	}
+	if mem < 90 || mem > 150 {
+		t.Errorf("memory overhead %.1f MB, paper reports +121.84 MB", mem)
+	}
+	if fps > -3 || fps < -14 {
+		t.Errorf("frame-rate change %.1f fps, paper reports -7 fps", fps)
+	}
+	if power < 12 || power > 60 {
+		t.Errorf("power overhead %.1f mW, paper reports +30.27 mW", power)
+	}
+}
+
+func TestMonitoringOnlyCheaperThanDetection(t *testing.T) {
+	mon := deployed()
+	mon.Analyses = 0
+	mon.Decorations = 0
+	full := deployed()
+	rMon, rFull := Estimate(mon), Estimate(full)
+	if rMon.CPUPct >= rFull.CPUPct {
+		t.Fatal("monitoring alone should cost less CPU than the full pipeline")
+	}
+	if rMon.MemMB >= rFull.MemMB {
+		t.Fatal("monitoring alone should use less memory (no model loaded)")
+	}
+	if rMon.FPS <= rFull.FPS {
+		t.Fatal("monitoring alone should keep a higher frame rate")
+	}
+}
+
+func TestDetectionDominatesOverhead(t *testing.T) {
+	// Section VI-D: "the main reason for the overhead is running the AUI
+	// detection model".
+	base := deployed()
+	mon := base
+	mon.Analyses, mon.Decorations = 0, 0
+	det := base
+	det.Decorations = 0
+	full := base
+	cpuMon, _, _, powMon := Estimate(mon).Overhead()
+	cpuDet, _, _, powDet := Estimate(det).Overhead()
+	cpuFull, _, _, powFull := Estimate(full).Overhead()
+	detectShareCPU := cpuDet - cpuMon
+	decoShareCPU := cpuFull - cpuDet
+	if detectShareCPU <= cpuMon || detectShareCPU <= decoShareCPU {
+		t.Fatalf("detection CPU share %.2f should dominate monitor %.2f and decoration %.2f",
+			detectShareCPU, cpuMon, decoShareCPU)
+	}
+	if powDet-powMon <= powFull-powDet {
+		t.Fatal("detection power share should exceed decoration share")
+	}
+}
+
+func TestSmallCutoffBlowsUpCPU(t *testing.T) {
+	// Table VIII: ct = 50 ms runs ~3x the analyses of ct = 200 ms and CPU
+	// rises superlinearly (86.5 % vs 57.8 %).
+	ct200 := deployed()
+	ct50 := deployed()
+	ct50.Analyses = 2291
+	ct50.Decorations = 700
+	r200, r50 := Estimate(ct200), Estimate(ct50)
+	if r50.CPUPct <= r200.CPUPct+5 {
+		t.Fatalf("ct=50 CPU %.1f barely above ct=200 CPU %.1f; want superlinear growth", r50.CPUPct, r200.CPUPct)
+	}
+	if r50.FPS >= r200.FPS {
+		t.Fatal("ct=50 should hurt frame rate more")
+	}
+	if r50.PowerMW <= r200.PowerMW {
+		t.Fatal("ct=50 should draw more power")
+	}
+	// And the magnitudes should be in the paper's ballpark.
+	if r50.CPUPct < 70 || r50.CPUPct > 100 {
+		t.Errorf("ct=50 CPU %.1f%%, paper reports 86.5%%", r50.CPUPct)
+	}
+	if r200.CPUPct < 56 || r200.CPUPct > 63 {
+		t.Errorf("ct=200 CPU %.1f%%, paper reports 57.8%%", r200.CPUPct)
+	}
+}
+
+func TestQueueMultiplierMonotonic(t *testing.T) {
+	prev := 0.0
+	for rate := 0.0; rate < 1.0; rate += 0.05 {
+		m := queueMultiplier(rate)
+		if m < 1 {
+			t.Fatalf("multiplier %v < 1 at rate %v", m, rate)
+		}
+		if m < prev {
+			t.Fatalf("multiplier not monotonic at rate %v", rate)
+		}
+		prev = m
+	}
+	if queueMultiplier(10) > 1/(1-0.88)+1e-9 {
+		t.Fatal("multiplier not clamped at saturation")
+	}
+}
+
+func TestFPSFloor(t *testing.T) {
+	r := Estimate(Activity{Duration: time.Second, EventsDelivered: 10000, Analyses: 10000, Decorations: 10000})
+	if r.FPS < 1 {
+		t.Fatalf("fps %v below floor", r.FPS)
+	}
+}

@@ -1,0 +1,298 @@
+// Package quant reimplements the paper's model-porting pipeline (Section
+// IV-C): the trained detector is prepared for the "device" by folding
+// batch-norm statistics into convolution weights (the paper's "replace the
+// internal redundant calculations in the model with constants") and then
+// quantising weights and activations to int8 with per-channel weight scales
+// and calibration-derived activation scales — the ncnn-style int8 path.
+//
+// Inference runs with int8 multiplications accumulated in int32, exactly the
+// arithmetic an ARM CPU would execute, so the accuracy loss measured in the
+// experiments (Table III vs Table IV) is the genuine quantisation error.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// foldedConv is a convolution with batch-norm constants folded in.
+type foldedConv struct {
+	inC, outC, k, stride, pad int
+	w                         []float32 // [outC][inC*k*k]
+	b                         []float32
+}
+
+// FoldConvBN combines a convolution and its batch norm into a single
+// convolution: w' = w * gamma/std, b' = beta + (b - mean) * gamma/std.
+func FoldConvBN(conv *tensor.Conv2D, bn *tensor.BatchNorm2D) (w []float32, b []float32) {
+	per := conv.InC * conv.K * conv.K
+	w = make([]float32, conv.OutC*per)
+	b = make([]float32, conv.OutC)
+	for oc := 0; oc < conv.OutC; oc++ {
+		std := float32(math.Sqrt(float64(bn.RunVar[oc] + bn.Eps)))
+		scale := bn.Gamma.Data[oc] / std
+		for i := 0; i < per; i++ {
+			w[oc*per+i] = conv.W.Data[oc*per+i] * scale
+		}
+		b[oc] = bn.Beta.Data[oc] + (conv.B.Data[oc]-bn.RunMean[oc])*scale
+	}
+	return w, b
+}
+
+// qconv is an int8-quantised convolution layer.
+type qconv struct {
+	foldedConv
+	qw      []int8    // quantised weights
+	wScale  []float32 // per-output-channel weight scale
+	inScale float32   // activation scale (from calibration)
+	relu    bool      // apply leaky-ReLU(0.1) after
+}
+
+// quantiseWeights converts folded float weights to int8 with per-channel
+// symmetric scales.
+func (q *qconv) quantiseWeights() {
+	per := q.inC * q.k * q.k
+	q.qw = make([]int8, len(q.w))
+	q.wScale = make([]float32, q.outC)
+	for oc := 0; oc < q.outC; oc++ {
+		var maxAbs float32
+		for i := 0; i < per; i++ {
+			v := q.w[oc*per+i]
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1e-8
+		}
+		scale := maxAbs / 127
+		q.wScale[oc] = scale
+		for i := 0; i < per; i++ {
+			v := q.w[oc*per+i] / scale
+			q.qw[oc*per+i] = int8(clamp(math.Round(float64(v)), -127, 127))
+		}
+	}
+}
+
+// forward runs the quantised convolution: activations are quantised to int8
+// with the calibrated scale, multiplied in int8 and accumulated in int32.
+func (q *qconv) forward(x *tensor.Tensor) *tensor.Tensor {
+	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if C != q.inC {
+		panic(fmt.Sprintf("quant: conv expects %d channels, got %d", q.inC, C))
+	}
+	oh := (H+2*q.pad-q.k)/q.stride + 1
+	ow := (W+2*q.pad-q.k)/q.stride + 1
+	// Quantise the input activations.
+	qx := make([]int8, len(x.Data))
+	for i, v := range x.Data {
+		qx[i] = int8(clamp(math.Round(float64(v/q.inScale)), -127, 127))
+	}
+	y := tensor.New(N, q.outC, oh, ow)
+	for n := 0; n < N; n++ {
+		for oc := 0; oc < q.outC; oc++ {
+			deq := q.wScale[oc] * q.inScale
+			bias := q.b[oc]
+			outBase := ((n*q.outC + oc) * oh) * ow
+			for oy := 0; oy < oh; oy++ {
+				ihBase := oy*q.stride - q.pad
+				outRow := outBase + oy*ow
+				for ox := 0; ox < ow; ox++ {
+					iwBase := ox*q.stride - q.pad
+					var acc int32
+					for ic := 0; ic < q.inC; ic++ {
+						wBase := ((oc*q.inC + ic) * q.k) * q.k
+						inBase := ((n*C + ic) * H) * W
+						for kh := 0; kh < q.k; kh++ {
+							ih := ihBase + kh
+							if ih < 0 || ih >= H {
+								continue
+							}
+							inRow := inBase + ih*W
+							wRow := wBase + kh*q.k
+							for kw := 0; kw < q.k; kw++ {
+								iw := iwBase + kw
+								if iw < 0 || iw >= W {
+									continue
+								}
+								acc += int32(q.qw[wRow+kw]) * int32(qx[inRow+iw])
+							}
+						}
+					}
+					v := float32(acc)*deq + bias
+					if q.relu && v < 0 {
+						v *= 0.1
+					}
+					y.Data[outRow+ox] = v
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Model is the ported, int8 detector — the artefact DARPA embeds in the
+// on-device app.
+type Model struct {
+	blocks  []*qconv // backbone conv stack in order B1..B3b (stride-8 trunk)
+	deep    []*qconv // B4, B5
+	upoHead *qconv
+	agoHead *qconv
+}
+
+// extractConvBN pulls the conv and BN out of an nn.ConvBNAct block.
+func extractConvBN(seq *nn.Sequential) (*tensor.Conv2D, *tensor.BatchNorm2D) {
+	var conv *tensor.Conv2D
+	var bn *tensor.BatchNorm2D
+	for _, l := range seq.Layers {
+		switch v := l.(type) {
+		case *tensor.Conv2D:
+			conv = v
+		case *tensor.BatchNorm2D:
+			bn = v
+		}
+	}
+	if conv == nil || bn == nil {
+		panic("quant: block is not a ConvBNAct sequential")
+	}
+	return conv, bn
+}
+
+func newQConvFromBlock(seq *nn.Sequential) *qconv {
+	conv, bn := extractConvBN(seq)
+	q := &qconv{foldedConv: foldedConv{
+		inC: conv.InC, outC: conv.OutC, k: conv.K, stride: conv.Stride, pad: conv.Pad,
+	}, relu: true}
+	q.w, q.b = FoldConvBN(conv, bn)
+	q.quantiseWeights()
+	return q
+}
+
+func newQConvFromHead(conv *tensor.Conv2D) *qconv {
+	per := conv.InC * conv.K * conv.K
+	q := &qconv{foldedConv: foldedConv{
+		inC: conv.InC, outC: conv.OutC, k: conv.K, stride: conv.Stride, pad: conv.Pad,
+	}}
+	q.w = make([]float32, conv.OutC*per)
+	copy(q.w, conv.W.Data)
+	q.b = make([]float32, conv.OutC)
+	copy(q.b, conv.B.Data)
+	q.quantiseWeights()
+	return q
+}
+
+// Port converts a trained float model into the int8 device model,
+// calibrating activation scales on the given samples (a handful of training
+// images suffices; the paper's ncnn flow does the same).
+func Port(m *yolite.Model, calib []*dataset.Sample) *Model {
+	qm := &Model{
+		blocks:  []*qconv{newQConvFromBlock(m.B1), newQConvFromBlock(m.B2), newQConvFromBlock(m.B3), newQConvFromBlock(m.B3b)},
+		deep:    []*qconv{newQConvFromBlock(m.B4), newQConvFromBlock(m.B5)},
+		upoHead: newQConvFromHead(m.UPOHead),
+		agoHead: newQConvFromHead(m.AGOHead),
+	}
+	qm.calibrate(m, calib)
+	return qm
+}
+
+// calibrate runs the float model over the calibration set recording the
+// maximum absolute activation entering each layer, and sets the int8 scales.
+func (qm *Model) calibrate(m *yolite.Model, calib []*dataset.Sample) {
+	maxIn := make([]float32, 8) // b1,b2,b3,b3b,b4,b5,upoHead,agoHead
+	observe := func(idx int, t *tensor.Tensor) {
+		for _, v := range t.Data {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxIn[idx] {
+				maxIn[idx] = v
+			}
+		}
+	}
+	if len(calib) == 0 {
+		// No calibration data: assume unit-range activations.
+		for i := range maxIn {
+			maxIn[i] = 1
+		}
+	}
+	for _, s := range calib {
+		x := yolite.CanvasToTensor(s.Input)
+		observe(0, x)
+		h := m.B1.Forward(x, false)
+		observe(1, h)
+		h = m.B2.Forward(h, false)
+		observe(2, h)
+		h = m.B3.Forward(h, false)
+		observe(3, h)
+		h = m.B3b.Forward(h, false)
+		observe(6, h) // UPO head input
+		observe(4, h) // B4 input
+		h = m.B4.Forward(h, false)
+		observe(5, h)
+		h = m.B5.Forward(h, false)
+		observe(7, h) // AGO head input
+	}
+	layers := []*qconv{qm.blocks[0], qm.blocks[1], qm.blocks[2], qm.blocks[3], qm.deep[0], qm.deep[1], qm.upoHead, qm.agoHead}
+	for i, l := range layers {
+		if maxIn[i] == 0 {
+			maxIn[i] = 1
+		}
+		l.inScale = maxIn[i] / 127
+	}
+}
+
+// Forward runs the quantised network, returning both raw head maps.
+func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
+	h := x
+	for _, b := range qm.blocks {
+		h = b.forward(h)
+	}
+	upo = qm.upoHead.forward(h)
+	for _, b := range qm.deep {
+		h = b.forward(h)
+	}
+	ago = qm.agoHead.forward(h)
+	return upo, ago
+}
+
+// PredictTensor implements yolite.Predictor with int8 inference.
+func (qm *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	upo, ago := qm.Forward(x)
+	dets := yolite.DecodeHead(upo, n, yolite.UPOHeadSpec, confThresh)
+	dets = append(dets, yolite.DecodeHead(ago, n, yolite.AGOHeadSpec, confThresh)...)
+	dets = yolite.RefineDetections(dets, yolite.LumaPlane(x, n), yolite.InputW, yolite.InputH)
+	return metrics.NMS(dets, 0.2)
+}
+
+var _ yolite.Predictor = (*Model)(nil)
+
+// WeightBytes reports the size of the quantised weights in bytes, the
+// "smaller model size" the paper credits ncnn with.
+func (qm *Model) WeightBytes() int {
+	n := 0
+	all := append(append([]*qconv{}, qm.blocks...), qm.deep...)
+	all = append(all, qm.upoHead, qm.agoHead)
+	for _, l := range all {
+		n += len(l.qw) + 4*len(l.b) + 4*len(l.wScale) + 4
+	}
+	return n
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

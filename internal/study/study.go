@@ -1,0 +1,257 @@
+// Package study reproduces the user-study analysis of Section III-B. The
+// study itself (165 participants on Wenjuanxing, Nov 21-24 2022) cannot be
+// re-run, so the paper's published summary statistics are embedded as a
+// deterministic per-participant response table whose marginals match every
+// number the paper reports, and the analysis pipeline recomputes Findings
+// 1-3 from it.
+package study
+
+import "fmt"
+
+// Frequency answers Q2: how often unintended clicks happen.
+type Frequency int
+
+// Q2 answer options. They begin at 1 so the zero value is detectably
+// invalid.
+const (
+	Often Frequency = iota + 1
+	Occasionally
+	Never
+)
+
+// String names the frequency bucket.
+func (f Frequency) String() string {
+	switch f {
+	case Often:
+		return "often"
+	case Occasionally:
+		return "occasionally"
+	case Never:
+		return "never"
+	default:
+		return fmt.Sprintf("frequency(%d)", int(f))
+	}
+}
+
+// Response is one participant's answers (the fields mirror the
+// questionnaire structure described in Section III-B).
+type Response struct {
+	// Demographics (Q13-Q14).
+	Male      bool
+	Age18to35 bool
+	Bachelor  bool
+	// Q1: are the two example AUIs misleading?
+	FeelsMisled bool
+	// Q2: frequency of unintended clicks.
+	UnintendedClicks Frequency
+	// Q3-Q5 composite: accessibility ratings (1-10).
+	AGORating, UPORating int
+	// Q7: bothered by unintended clicks and wants to exit quickly.
+	Bothered bool
+	// Q8: experience with non-Chinese apps, and whether Chinese apps show
+	// more AUIs.
+	UsedForeignApps bool
+	ThinksCNMoreAUI bool
+	// Q9: is the UPO at least as important as the AGO?
+	UPOEquallyImportant bool
+	// Q10-Q12 composite: rating for having a countermeasure (1-10) and the
+	// preferred mitigation.
+	SolutionRating   int
+	PrefersHighlight bool
+}
+
+// Paper marginals (counts out of 165).
+const (
+	numParticipants  = 165
+	numMale          = 74
+	numAge18to35     = 126 // 76.4%
+	numBachelor      = 155 // 93.9%
+	numMisled        = 156 // 94.5%
+	numOften         = 127 // 77.0%
+	numOccasionally  = 34  // 20.6%
+	numNever         = 4   // 2.4%
+	numBothered      = 137 // 83.0%
+	numForeignUsers  = 112
+	numCNMoreAUI     = 86  // 76.8% of 112
+	numUPOImportant  = 120 // 72.7%
+	numHighlightPref = 92  // "more than half"
+	numSolution9Plus = 48
+	// Rating sums chosen so the means match the paper to two decimals:
+	// AGO 7.49, UPO 4.38, solution 7.64.
+	sumAGORatings      = 1236
+	sumUPORatings      = 723
+	sumSolutionRatings = 1261
+)
+
+// Responses returns the deterministic 165-participant response table. The
+// attribute assignment is round-robin so marginals are exact while joint
+// distributions stay unremarkable.
+func Responses() []Response {
+	rs := make([]Response, numParticipants)
+	for i := range rs {
+		rs[i] = Response{
+			Male:                i < numMale,
+			Age18to35:           i%165 < numAge18to35,
+			Bachelor:            i >= numParticipants-numBachelor,
+			FeelsMisled:         i < numMisled,
+			Bothered:            i%numParticipants < numBothered,
+			UPOEquallyImportant: (i*7)%numParticipants < numUPOImportant,
+			PrefersHighlight:    (i*3)%numParticipants < numHighlightPref,
+		}
+		switch {
+		case i < numOften:
+			rs[i].UnintendedClicks = Often
+		case i < numOften+numOccasionally:
+			rs[i].UnintendedClicks = Occasionally
+		default:
+			rs[i].UnintendedClicks = Never
+		}
+		// Foreign-app exposure: the last 112 participants.
+		if i >= numParticipants-numForeignUsers {
+			rs[i].UsedForeignApps = true
+			rs[i].ThinksCNMoreAUI = i >= numParticipants-numCNMoreAUI
+		}
+	}
+	// AGO ratings: 84 participants rate 7, 81 rate 8 (sum 1236).
+	for i := range rs {
+		if i < 84 {
+			rs[i].AGORating = 7
+		} else {
+			rs[i].AGORating = 8
+		}
+	}
+	// UPO ratings: 102 rate 4, 63 rate 5 (sum 723).
+	for i := range rs {
+		if i < 102 {
+			rs[i].UPORating = 4
+		} else {
+			rs[i].UPORating = 5
+		}
+	}
+	// Solution ratings: 107 rate 7, 10 rate 8, 48 rate 9 (sum 1261,
+	// 48 ratings >= 9 as reported).
+	for i := range rs {
+		switch {
+		case i < 107:
+			rs[i].SolutionRating = 7
+		case i < 117:
+			rs[i].SolutionRating = 8
+		default:
+			rs[i].SolutionRating = 9
+		}
+	}
+	return rs
+}
+
+// Findings aggregates the study, mirroring the quantities in Section III-B.
+type Findings struct {
+	Participants int
+	// Finding 1: users agree AUIs are misleading; options are asymmetric.
+	MisledFrac       float64
+	MeanAGORating    float64
+	MeanUPORating    float64
+	UPOImportantFrac float64
+	// Finding 2: AUIs hurt usability.
+	OftenFrac, OccasionallyFrac, NeverFrac float64
+	BotheredFrac                           float64
+	ForeignUsers                           int
+	CNMoreAUIFrac                          float64 // among foreign-app users
+	// Finding 3: users want a countermeasure.
+	MeanSolutionRating float64
+	Solution9Plus      int
+	HighlightFrac      float64
+	// Demographics.
+	MaleCount, FemaleCount      int
+	Age18to35Frac, BachelorFrac float64
+}
+
+// Analyze recomputes every Section III-B statistic from raw responses.
+func Analyze(rs []Response) Findings {
+	f := Findings{Participants: len(rs)}
+	if len(rs) == 0 {
+		return f
+	}
+	n := float64(len(rs))
+	var misled, often, occ, never, bothered, foreign, cnMore, upoImp, nine, highlight int
+	var sumAGO, sumUPO, sumSol, male, age, bach int
+	for _, r := range rs {
+		if r.FeelsMisled {
+			misled++
+		}
+		switch r.UnintendedClicks {
+		case Often:
+			often++
+		case Occasionally:
+			occ++
+		case Never:
+			never++
+		}
+		if r.Bothered {
+			bothered++
+		}
+		if r.UsedForeignApps {
+			foreign++
+			if r.ThinksCNMoreAUI {
+				cnMore++
+			}
+		}
+		if r.UPOEquallyImportant {
+			upoImp++
+		}
+		if r.SolutionRating >= 9 {
+			nine++
+		}
+		if r.PrefersHighlight {
+			highlight++
+		}
+		sumAGO += r.AGORating
+		sumUPO += r.UPORating
+		sumSol += r.SolutionRating
+		if r.Male {
+			male++
+		}
+		if r.Age18to35 {
+			age++
+		}
+		if r.Bachelor {
+			bach++
+		}
+	}
+	f.MisledFrac = float64(misled) / n
+	f.MeanAGORating = float64(sumAGO) / n
+	f.MeanUPORating = float64(sumUPO) / n
+	f.UPOImportantFrac = float64(upoImp) / n
+	f.OftenFrac = float64(often) / n
+	f.OccasionallyFrac = float64(occ) / n
+	f.NeverFrac = float64(never) / n
+	f.BotheredFrac = float64(bothered) / n
+	f.ForeignUsers = foreign
+	if foreign > 0 {
+		f.CNMoreAUIFrac = float64(cnMore) / float64(foreign)
+	}
+	f.MeanSolutionRating = float64(sumSol) / n
+	f.Solution9Plus = nine
+	f.HighlightFrac = float64(highlight) / n
+	f.MaleCount = male
+	f.FemaleCount = len(rs) - male
+	f.Age18to35Frac = float64(age) / n
+	f.BachelorFrac = float64(bach) / n
+	return f
+}
+
+// Finding1Holds checks the paper's Finding 1: users strongly agree AUIs are
+// misleading, and rate AGOs far more accessible than UPOs.
+func (f Findings) Finding1Holds() bool {
+	return f.MisledFrac > 0.9 && f.MeanAGORating-f.MeanUPORating > 2
+}
+
+// Finding2Holds checks Finding 2: AUIs hurt usability for most users.
+func (f Findings) Finding2Holds() bool {
+	return f.OftenFrac > 0.7 && f.BotheredFrac > 0.75 && f.CNMoreAUIFrac > 0.7
+}
+
+// Finding3Holds checks Finding 3: users want a practical countermeasure,
+// preferably highlighting.
+func (f Findings) Finding3Holds() bool {
+	return f.MeanSolutionRating > 7 && f.HighlightFrac > 0.5
+}

@@ -1,0 +1,101 @@
+package study
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, paper reports %v", name, got, want)
+	}
+}
+
+func TestMarginalsMatchPaper(t *testing.T) {
+	f := Analyze(Responses())
+	if f.Participants != 165 {
+		t.Fatalf("participants = %d", f.Participants)
+	}
+	approx(t, "misled fraction (Q1)", f.MisledFrac, 156.0/165.0, 1e-9)
+	approx(t, "mean AGO rating", f.MeanAGORating, 7.49, 0.005)
+	approx(t, "mean UPO rating", f.MeanUPORating, 4.38, 0.005)
+	approx(t, "often fraction (Q2)", f.OftenFrac, 127.0/165.0, 1e-9)
+	approx(t, "occasionally fraction", f.OccasionallyFrac, 34.0/165.0, 1e-9)
+	approx(t, "never fraction", f.NeverFrac, 4.0/165.0, 1e-9)
+	approx(t, "bothered fraction (Q7)", f.BotheredFrac, 137.0/165.0, 1e-9)
+	if f.ForeignUsers != 112 {
+		t.Errorf("foreign-app users = %d, want 112", f.ForeignUsers)
+	}
+	approx(t, "CN-more-AUI fraction (Q8)", f.CNMoreAUIFrac, 86.0/112.0, 1e-9)
+	approx(t, "UPO-important fraction (Q9)", f.UPOImportantFrac, 120.0/165.0, 1e-9)
+	approx(t, "mean solution rating", f.MeanSolutionRating, 7.64, 0.005)
+	if f.Solution9Plus != 48 {
+		t.Errorf("solution ratings >=9 = %d, want 48", f.Solution9Plus)
+	}
+	if f.HighlightFrac <= 0.5 {
+		t.Errorf("highlight preference %v, paper says more than half", f.HighlightFrac)
+	}
+}
+
+func TestDemographics(t *testing.T) {
+	f := Analyze(Responses())
+	if f.MaleCount != 74 || f.FemaleCount != 91 {
+		t.Errorf("gender split %d/%d, want 74/91", f.MaleCount, f.FemaleCount)
+	}
+	approx(t, "age 18-35 fraction", f.Age18to35Frac, 0.764, 0.005)
+	approx(t, "bachelor fraction", f.BachelorFrac, 0.939, 0.005)
+}
+
+func TestFindingsHold(t *testing.T) {
+	f := Analyze(Responses())
+	if !f.Finding1Holds() {
+		t.Error("Finding 1 (AUIs are misleading) does not hold")
+	}
+	if !f.Finding2Holds() {
+		t.Error("Finding 2 (AUIs hurt usability) does not hold")
+	}
+	if !f.Finding3Holds() {
+		t.Error("Finding 3 (users want a countermeasure) does not hold")
+	}
+}
+
+func TestRatingsInRange(t *testing.T) {
+	for i, r := range Responses() {
+		if r.AGORating < 1 || r.AGORating > 10 || r.UPORating < 1 || r.UPORating > 10 ||
+			r.SolutionRating < 1 || r.SolutionRating > 10 {
+			t.Fatalf("participant %d has out-of-range rating: %+v", i, r)
+		}
+		if r.UnintendedClicks == 0 {
+			t.Fatalf("participant %d has invalid Q2 answer", i)
+		}
+		if r.ThinksCNMoreAUI && !r.UsedForeignApps {
+			t.Fatalf("participant %d answered Q8 without foreign-app experience", i)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	f := Analyze(nil)
+	if f.Participants != 0 || f.MisledFrac != 0 {
+		t.Fatalf("empty analysis %+v", f)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Responses(), Responses()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("response table not deterministic")
+		}
+	}
+}
+
+func TestFrequencyString(t *testing.T) {
+	if Often.String() != "often" || Never.String() != "never" {
+		t.Fatal("frequency names wrong")
+	}
+	if Frequency(9).String() == "" {
+		t.Fatal("unknown frequency should format")
+	}
+}

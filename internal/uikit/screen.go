@@ -1,0 +1,219 @@
+package uikit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+// WindowType distinguishes the layers of the screen, mirroring the Android
+// window manager's type hierarchy at the granularity DARPA cares about.
+type WindowType int
+
+// Window types, bottom to top. They begin at 1 so the zero value is
+// detectably invalid.
+const (
+	// WindowApp is a normal application window.
+	WindowApp WindowType = iota + 1
+	// WindowDialog is an app dialog or popup drawn above its app.
+	WindowDialog
+	// WindowOverlay is a system-alert-level overlay, the layer
+	// WindowManager.addView places DARPA's decoration views on.
+	WindowOverlay
+)
+
+// Window is a region of the screen owned by one app (or by an accessibility
+// overlay), holding a view tree.
+type Window struct {
+	// Owner is the package name of the owning app.
+	Owner string
+	// Type selects the z-layer.
+	Type WindowType
+	// Frame is the window's position on the screen. Content coordinates
+	// inside Root are relative to Frame's top-left, which is exactly the
+	// offset mismatch the decoration calibration of Figure 4 must solve.
+	Frame geom.Rect
+	// Root is the content view tree; nil windows render nothing.
+	Root *View
+
+	z int // insertion order within type, for stable stacking
+}
+
+// Screen is the simulated display: a fixed resolution, a status bar, a
+// navigation bar and a stack of windows.
+type Screen struct {
+	W, H int
+	// StatusBarH and NavBarH are the system bar heights. Apps not in
+	// full-screen mode are inset between them.
+	StatusBarH, NavBarH int
+
+	windows []*Window
+	nextZ   int
+}
+
+// NewScreen returns a screen with the given resolution and the default
+// system bar heights (24 px status, 36 px nav at 360x640, scaled
+// proportionally).
+func NewScreen(w, h int) *Screen {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("uikit: invalid screen size %dx%d", w, h))
+	}
+	return &Screen{W: w, H: h, StatusBarH: h * 24 / 640, NavBarH: h * 36 / 640}
+}
+
+// Bounds returns the full screen rectangle.
+func (s *Screen) Bounds() geom.Rect { return geom.Rect{X: 0, Y: 0, W: s.W, H: s.H} }
+
+// ContentFrame returns the window frame of a non-full-screen app: the screen
+// minus the system bars.
+func (s *Screen) ContentFrame() geom.Rect {
+	return geom.Rect{X: 0, Y: s.StatusBarH, W: s.W, H: s.H - s.StatusBarH - s.NavBarH}
+}
+
+// AddWindow pushes a window onto the stack. Windows of a higher type always
+// stack above lower types; within a type, later additions stack higher.
+func (s *Screen) AddWindow(w *Window) {
+	if w == nil || w.Type == 0 {
+		panic("uikit: AddWindow requires a window with a valid type")
+	}
+	w.z = s.nextZ
+	s.nextZ++
+	s.windows = append(s.windows, w)
+}
+
+// RemoveWindow removes a window from the stack; unknown windows are ignored.
+func (s *Screen) RemoveWindow(w *Window) {
+	for i, existing := range s.windows {
+		if existing == w {
+			s.windows = append(s.windows[:i], s.windows[i+1:]...)
+			return
+		}
+	}
+}
+
+// Windows returns the stack sorted bottom-to-top.
+func (s *Screen) Windows() []*Window {
+	out := make([]*Window, len(s.windows))
+	copy(out, s.windows)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].z < out[j].z
+	})
+	return out
+}
+
+// TopWindow returns the topmost non-overlay window, or nil when the stack is
+// empty. This is "the app the user is looking at".
+func (s *Screen) TopWindow() *Window {
+	ws := s.Windows()
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i].Type != WindowOverlay {
+			return ws[i]
+		}
+	}
+	return nil
+}
+
+// Render rasterises the screen: dark background, status bar, windows in
+// z-order, navigation bar.
+func (s *Screen) Render() *render.Canvas {
+	c := render.NewCanvas(s.W, s.H)
+	c.Fill(c.Bounds(), render.Black)
+	for _, w := range s.Windows() {
+		if w.Root == nil {
+			continue
+		}
+		w.Root.render(c, geom.Pt{X: w.Frame.X, Y: w.Frame.Y}, 1)
+	}
+	// System bars draw above app windows but below overlays; re-draw
+	// overlays after the bars to preserve that ordering.
+	s.renderBars(c)
+	for _, w := range s.Windows() {
+		if w.Type == WindowOverlay && w.Root != nil {
+			w.Root.render(c, geom.Pt{X: w.Frame.X, Y: w.Frame.Y}, 1)
+		}
+	}
+	return c
+}
+
+func (s *Screen) renderBars(c *render.Canvas) {
+	if s.StatusBarH > 0 {
+		bar := geom.Rect{X: 0, Y: 0, W: s.W, H: s.StatusBarH}
+		c.Fill(bar, render.Black)
+		// Clock dots, signal bars: enough texture to be realistic.
+		c.Fill(geom.Rect{X: s.W - 30, Y: s.StatusBarH / 3, W: 20, H: s.StatusBarH / 3}, render.LightGray)
+		c.Fill(geom.Rect{X: 10, Y: s.StatusBarH / 3, W: 30, H: s.StatusBarH / 3}, render.LightGray)
+	}
+	if s.NavBarH > 0 {
+		bar := geom.Rect{X: 0, Y: s.H - s.NavBarH, W: s.W, H: s.NavBarH}
+		c.Fill(bar, render.Black)
+		cy := s.H - s.NavBarH/2
+		c.FillCircle(s.W/2, cy, s.NavBarH/5, render.LightGray)
+		c.FillCircle(s.W/4, cy, s.NavBarH/6, render.LightGray)
+		c.FillCircle(3*s.W/4, cy, s.NavBarH/6, render.LightGray)
+	}
+}
+
+// Click dispatches a tap at p to the topmost clickable view under it,
+// searching windows top-down. It returns the view that consumed the click
+// (nil when nothing did). Overlay windows never consume clicks: DARPA's
+// decorations are drawn with the not-touchable window flag so user input
+// passes through to the app beneath.
+func (s *Screen) Click(p geom.Pt) *View {
+	ws := s.Windows()
+	for i := len(ws) - 1; i >= 0; i-- {
+		w := ws[i]
+		if w.Type == WindowOverlay || w.Root == nil || !w.Frame.Contains(p) {
+			continue
+		}
+		if hit, _ := w.Root.hitTest(geom.Pt{X: w.Frame.X, Y: w.Frame.Y}, p); hit != nil {
+			if hit.OnClick != nil {
+				hit.OnClick()
+			}
+			return hit
+		}
+		// The window under the tap absorbs it even if no view handled it.
+		return nil
+	}
+	return nil
+}
+
+// ViewInfo is the per-view metadata an ADB UI dump exposes: what the
+// FraudDroid-like baseline of Section VI-C consumes.
+type ViewInfo struct {
+	Owner     string
+	ID        string
+	Kind      Kind
+	Bounds    geom.Rect // absolute screen coordinates
+	Text      string
+	Clickable bool
+	Alpha     float64
+}
+
+// DumpViews flattens every visible view of every non-overlay window into
+// metadata records, top window last.
+func (s *Screen) DumpViews() []ViewInfo {
+	var out []ViewInfo
+	for _, w := range s.Windows() {
+		if w.Type == WindowOverlay || w.Root == nil {
+			continue
+		}
+		w.Root.Walk(geom.Pt{X: w.Frame.X, Y: w.Frame.Y}, func(v *View, abs geom.Rect) bool {
+			out = append(out, ViewInfo{
+				Owner:     w.Owner,
+				ID:        v.ID,
+				Kind:      v.Kind,
+				Bounds:    abs,
+				Text:      v.Text,
+				Clickable: v.Clickable,
+				Alpha:     v.effAlpha(),
+			})
+			return true
+		})
+	}
+	return out
+}

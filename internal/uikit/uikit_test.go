@@ -1,0 +1,259 @@
+package uikit
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+func TestViewRenderBasic(t *testing.T) {
+	s := NewScreen(100, 160)
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 100, H: 100}, Color: render.White}
+	root.Add(&View{Kind: KindButton, Bounds: geom.Rect{X: 10, Y: 10, W: 30, H: 20}, Color: render.Red})
+	s.AddWindow(&Window{Owner: "app", Type: WindowApp, Frame: geom.Rect{W: 100, H: 100}, Root: root})
+	c := s.Render()
+	if c.At(20, 15) != render.Red {
+		t.Fatalf("button pixel = %v", c.At(20, 15))
+	}
+	if c.At(60, 60) != render.White {
+		t.Fatalf("background pixel = %v", c.At(60, 60))
+	}
+}
+
+func TestHiddenSubtreeSkipped(t *testing.T) {
+	s := NewScreen(50, 80)
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 50}, Color: render.White}
+	root.Add(&View{Kind: KindButton, Bounds: geom.Rect{X: 5, Y: 30, W: 10, H: 10}, Color: render.Red, Hidden: true})
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 50, H: 50}, Root: root})
+	if got := s.Render().At(8, 33); got != render.White {
+		t.Fatalf("hidden view rendered: %v", got)
+	}
+}
+
+func TestAlphaInheritance(t *testing.T) {
+	s := NewScreen(50, 80)
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 50}, Color: render.White}
+	faint := &View{Kind: KindContainer, Bounds: geom.Rect{X: 0, Y: 25, W: 50, H: 25}, Alpha: 0.2}
+	faint.Add(&View{Kind: KindButton, Bounds: geom.Rect{X: 5, Y: 5, W: 10, H: 10}, Color: render.Black})
+	root.Add(faint)
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 50, H: 50}, Root: root})
+	got := s.Render().At(8, 33)
+	// 20% black over white should stay bright.
+	if got.Luma() < 180 {
+		t.Fatalf("alpha-faded child too dark: %v (luma %v)", got, got.Luma())
+	}
+	if got.Luma() > 250 {
+		t.Fatalf("alpha-faded child invisible: %v", got)
+	}
+}
+
+func TestZeroAlphaIsOpaque(t *testing.T) {
+	v := &View{}
+	if v.effAlpha() != 1 {
+		t.Fatalf("zero-value alpha = %v, want 1", v.effAlpha())
+	}
+}
+
+func TestWindowStackingByType(t *testing.T) {
+	s := NewScreen(50, 80)
+	app := &Window{Owner: "app", Type: WindowApp, Frame: geom.Rect{W: 50, H: 80},
+		Root: &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 80}, Color: render.Blue}}
+	overlay := &Window{Owner: "darpa", Type: WindowOverlay, Frame: geom.Rect{X: 10, Y: 40, W: 10, H: 10},
+		Root: &View{Kind: KindImage, Bounds: geom.Rect{W: 10, H: 10}, Color: render.Green}}
+	// Add overlay first: type ordering must still put it on top.
+	s.AddWindow(overlay)
+	s.AddWindow(app)
+	c := s.Render()
+	if c.At(15, 45) != render.Green {
+		t.Fatalf("overlay not on top: %v", c.At(15, 45))
+	}
+	if s.TopWindow() != app {
+		t.Fatal("TopWindow should skip overlays")
+	}
+}
+
+func TestDialogAboveApp(t *testing.T) {
+	s := NewScreen(50, 80)
+	s.AddWindow(&Window{Owner: "app", Type: WindowApp, Frame: geom.Rect{W: 50, H: 80},
+		Root: &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 80}, Color: render.Blue}})
+	dlg := &Window{Owner: "app", Type: WindowDialog, Frame: geom.Rect{X: 10, Y: 30, W: 30, H: 20},
+		Root: &View{Kind: KindContainer, Bounds: geom.Rect{W: 30, H: 20}, Color: render.Yellow}}
+	s.AddWindow(dlg)
+	if got := s.Render().At(20, 40); got != render.Yellow {
+		t.Fatalf("dialog not above app: %v", got)
+	}
+	if s.TopWindow() != dlg {
+		t.Fatal("dialog should be the top window")
+	}
+}
+
+func TestRemoveWindow(t *testing.T) {
+	s := NewScreen(50, 80)
+	w := &Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 50, H: 80},
+		Root: &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 80}, Color: render.Red}}
+	s.AddWindow(w)
+	s.RemoveWindow(w)
+	if len(s.Windows()) != 0 {
+		t.Fatal("window not removed")
+	}
+	s.RemoveWindow(w) // removing twice is a no-op
+}
+
+func TestClickDispatch(t *testing.T) {
+	s := NewScreen(100, 160)
+	clicked := ""
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 100, H: 100}, Color: render.White}
+	root.Add(
+		&View{ID: "big", Kind: KindButton, Bounds: geom.Rect{X: 10, Y: 10, W: 60, H: 40},
+			Clickable: true, OnClick: func() { clicked = "big" }},
+		&View{ID: "small", Kind: KindButton, Bounds: geom.Rect{X: 20, Y: 20, W: 10, H: 10},
+			Clickable: true, OnClick: func() { clicked = "small" }},
+	)
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 100, H: 100}, Root: root})
+	// The small button is added later, so it draws above and wins the hit.
+	if v := s.Click(geom.Pt{X: 25, Y: 25}); v == nil || v.ID != "small" || clicked != "small" {
+		t.Fatalf("click hit %v (clicked=%q)", v, clicked)
+	}
+	if v := s.Click(geom.Pt{X: 60, Y: 40}); v == nil || v.ID != "big" {
+		t.Fatalf("click hit %v, want big", v)
+	}
+	if v := s.Click(geom.Pt{X: 90, Y: 90}); v != nil {
+		t.Fatalf("click on non-clickable area hit %v", v)
+	}
+}
+
+func TestOverlayDoesNotConsumeClicks(t *testing.T) {
+	s := NewScreen(100, 160)
+	clicked := false
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 100, H: 100}}
+	root.Add(&View{ID: "upo", Kind: KindButton, Bounds: geom.Rect{X: 80, Y: 5, W: 12, H: 12},
+		Clickable: true, OnClick: func() { clicked = true }})
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 100, H: 100}, Root: root})
+	// Decoration overlay exactly covering the button.
+	ol := &View{Kind: KindImage, Bounds: geom.Rect{W: 12, H: 12}, Clickable: true}
+	s.AddWindow(&Window{Owner: "darpa", Type: WindowOverlay, Frame: geom.Rect{X: 80, Y: 5, W: 12, H: 12},
+		Root: ol})
+	if v := s.Click(geom.Pt{X: 85, Y: 10}); v == nil || !clicked {
+		t.Fatalf("overlay swallowed the click (hit=%v clicked=%v)", v, clicked)
+	}
+}
+
+func TestHiddenViewNotClickable(t *testing.T) {
+	s := NewScreen(50, 80)
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 50, H: 50}}
+	root.Add(&View{ID: "x", Kind: KindButton, Bounds: geom.Rect{X: 0, Y: 0, W: 50, H: 50},
+		Clickable: true, Hidden: true, OnClick: func() { t.Fatal("hidden view clicked") }})
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 50, H: 50}, Root: root})
+	if v := s.Click(geom.Pt{X: 25, Y: 25}); v != nil {
+		t.Fatalf("hidden view hit: %v", v)
+	}
+}
+
+func TestFindByIDAndWalk(t *testing.T) {
+	root := &View{ID: "root", Kind: KindContainer, Bounds: geom.Rect{W: 100, H: 100}}
+	inner := &View{ID: "inner", Kind: KindContainer, Bounds: geom.Rect{X: 10, Y: 20, W: 50, H: 50}}
+	leaf := &View{ID: "leaf", Kind: KindButton, Bounds: geom.Rect{X: 5, Y: 5, W: 10, H: 10}}
+	inner.Add(leaf)
+	root.Add(inner)
+	if root.FindByID("leaf") != leaf {
+		t.Fatal("FindByID failed")
+	}
+	if root.FindByID("nope") != nil {
+		t.Fatal("FindByID found a ghost")
+	}
+	// Walk must report absolute bounds.
+	var leafAbs geom.Rect
+	root.Walk(geom.Pt{}, func(v *View, abs geom.Rect) bool {
+		if v.ID == "leaf" {
+			leafAbs = abs
+		}
+		return true
+	})
+	if leafAbs != (geom.Rect{X: 15, Y: 25, W: 10, H: 10}) {
+		t.Fatalf("leaf absolute bounds = %v", leafAbs)
+	}
+}
+
+func TestDumpViews(t *testing.T) {
+	s := NewScreen(100, 160)
+	frame := s.ContentFrame()
+	root := &View{ID: "root", Kind: KindContainer, Bounds: geom.Rect{W: frame.W, H: frame.H}}
+	root.Add(&View{ID: "btn_close", Kind: KindButton, Bounds: geom.Rect{X: 80, Y: 4, W: 12, H: 12},
+		Clickable: true, Alpha: 0.4})
+	s.AddWindow(&Window{Owner: "com.example", Type: WindowApp, Frame: frame, Root: root})
+	infos := s.DumpViews()
+	if len(infos) != 2 {
+		t.Fatalf("dumped %d views, want 2", len(infos))
+	}
+	var btn *ViewInfo
+	for i := range infos {
+		if infos[i].ID == "btn_close" {
+			btn = &infos[i]
+		}
+	}
+	if btn == nil {
+		t.Fatal("btn_close missing from dump")
+	}
+	// Dump coordinates must be absolute: window frame offset applied.
+	want := geom.Rect{X: 80, Y: frame.Y + 4, W: 12, H: 12}
+	if btn.Bounds != want {
+		t.Fatalf("dump bounds = %v, want %v", btn.Bounds, want)
+	}
+	if btn.Alpha != 0.4 || !btn.Clickable || btn.Owner != "com.example" {
+		t.Fatalf("dump metadata wrong: %+v", btn)
+	}
+}
+
+func TestContentFrameInsets(t *testing.T) {
+	s := NewScreen(360, 640)
+	f := s.ContentFrame()
+	if f.Y != s.StatusBarH {
+		t.Fatalf("content frame top = %d, want %d", f.Y, s.StatusBarH)
+	}
+	if f.MaxY() != 640-s.NavBarH {
+		t.Fatalf("content frame bottom = %d", f.MaxY())
+	}
+	if s.StatusBarH == 0 || s.NavBarH == 0 {
+		t.Fatal("system bars should have nonzero height at 640p")
+	}
+}
+
+func TestTextRenders(t *testing.T) {
+	s := NewScreen(100, 160)
+	root := &View{Kind: KindContainer, Bounds: geom.Rect{W: 100, H: 100}, Color: render.White}
+	root.Add(&View{Kind: KindButton, Bounds: geom.Rect{X: 10, Y: 40, W: 80, H: 24},
+		Color: render.Blue, Text: "OPEN", TextColor: render.White})
+	s.AddWindow(&Window{Owner: "a", Type: WindowApp, Frame: geom.Rect{W: 100, H: 100}, Root: root})
+	c := s.Render()
+	// Some pixel inside the button area must be white (text ink).
+	found := false
+	for y := 40; y < 64 && !found; y++ {
+		for x := 10; x < 90 && !found; x++ {
+			if c.At(x, y) == render.White {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("button label did not render")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindButton.String() != "button" {
+		t.Fatalf("KindButton = %q", KindButton.String())
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should format, not vanish")
+	}
+}
+
+func TestAddWindowInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddWindow with zero type did not panic")
+		}
+	}()
+	NewScreen(10, 10).AddWindow(&Window{})
+}

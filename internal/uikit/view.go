@@ -1,0 +1,193 @@
+// Package uikit models the Android view system at the fidelity DARPA
+// observes it: a tree of rectangular views composited into z-ordered windows
+// on a screen with status and navigation bars.
+//
+// The package deliberately mirrors the constraint structure of the paper:
+// the screen can be rasterised to pixels (what the Accessibility Service
+// screenshot API exposes), views carry resource ids and placement metadata
+// (what ADB view dumps expose to the FraudDroid-like baseline), and windows
+// may be inset below the status bar (the decoration-calibration problem of
+// Figure 4).
+package uikit
+
+import (
+	"fmt"
+
+	"repro/internal/font"
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+// Kind classifies a view, mirroring the Android widget classes relevant to
+// AUI analysis.
+type Kind int
+
+// View kinds. They begin at 1 so the zero value is detectably invalid.
+const (
+	KindContainer Kind = iota + 1
+	KindButton
+	KindText
+	KindImage
+	KindIcon
+)
+
+var kindNames = map[Kind]string{
+	KindContainer: "container",
+	KindButton:    "button",
+	KindText:      "text",
+	KindImage:     "image",
+	KindIcon:      "icon",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// View is one node of a UI tree. Bounds are relative to the parent view (or
+// the window for the root).
+type View struct {
+	// ID is the resource id ("btn_close", "ad_container"). Apps that
+	// obfuscate their resources replace it with a meaningless token,
+	// which is what defeats id-based heuristics (Section VI-C).
+	ID string
+	// Kind classifies the widget.
+	Kind Kind
+	// Bounds positions the view relative to its parent.
+	Bounds geom.Rect
+	// Color is the fill colour. A zero Color (alpha 0) draws no background.
+	Color render.Color
+	// Alpha in [0,1] multiplies the whole subtree's opacity. The zero value
+	// is treated as fully opaque so that plain struct literals work.
+	Alpha float64
+	// Corner is the corner radius in pixels for the background fill.
+	Corner int
+	// Text, TextScale and TextColor render a centred label.
+	Text      string
+	TextScale int
+	TextColor render.Color
+	// Cross draws an "X" glyph across the view (close buttons).
+	Cross bool
+	// CrossColor is the colour of the X; zero value means TextColor.
+	CrossColor render.Color
+	// Clickable marks the view as an interaction target.
+	Clickable bool
+	// OnClick is invoked when a click lands on the view.
+	OnClick func()
+	// Hidden removes the subtree from rendering and hit testing.
+	Hidden bool
+	// Children are drawn after (on top of) the view background, in order.
+	Children []*View
+}
+
+// Add appends children and returns the view for chaining.
+func (v *View) Add(children ...*View) *View {
+	v.Children = append(v.Children, children...)
+	return v
+}
+
+// effAlpha returns the effective opacity multiplier, mapping the zero value
+// to 1.
+func (v *View) effAlpha() float64 {
+	if v.Alpha == 0 {
+		return 1
+	}
+	if v.Alpha < 0 {
+		return 0
+	}
+	if v.Alpha > 1 {
+		return 1
+	}
+	return v.Alpha
+}
+
+func scaleAlpha(c render.Color, mul float64) render.Color {
+	if mul >= 1 {
+		return c
+	}
+	return c.WithAlpha(uint8(float64(c.A)*mul + 0.5))
+}
+
+// Render draws the subtree onto canvas with the view's top-left at origin,
+// with inherited opacity parentAlpha.
+func (v *View) render(c *render.Canvas, origin geom.Pt, parentAlpha float64) {
+	if v.Hidden {
+		return
+	}
+	alpha := parentAlpha * v.effAlpha()
+	abs := v.Bounds.Translate(origin.X, origin.Y)
+	if v.Color.A > 0 {
+		c.FillRounded(abs, v.Corner, scaleAlpha(v.Color, alpha))
+	}
+	if v.Text != "" {
+		scale := v.TextScale
+		if scale < 1 {
+			scale = 1
+		}
+		font.DrawCentered(c, abs, v.Text, scale, scaleAlpha(v.TextColor, alpha))
+	}
+	if v.Cross {
+		col := v.CrossColor
+		if col.A == 0 {
+			col = v.TextColor
+		}
+		pad := min(abs.W, abs.H) / 4
+		c.DrawCross(abs.Inset(pad), max(2, min(abs.W, abs.H)/7), scaleAlpha(col, alpha))
+	}
+	for _, child := range v.Children {
+		child.render(c, geom.Pt{X: abs.X, Y: abs.Y}, alpha)
+	}
+}
+
+// Walk visits the subtree depth-first with each view's absolute bounds
+// (relative to origin). Hidden subtrees are skipped. The walk stops early if
+// fn returns false.
+func (v *View) Walk(origin geom.Pt, fn func(v *View, abs geom.Rect) bool) bool {
+	if v.Hidden {
+		return true
+	}
+	abs := v.Bounds.Translate(origin.X, origin.Y)
+	if !fn(v, abs) {
+		return false
+	}
+	for _, child := range v.Children {
+		if !child.Walk(geom.Pt{X: abs.X, Y: abs.Y}, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindByID returns the first view in the subtree whose ID matches, or nil.
+func (v *View) FindByID(id string) *View {
+	var found *View
+	v.Walk(geom.Pt{}, func(view *View, _ geom.Rect) bool {
+		if view.ID == id {
+			found = view
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hitTest returns the topmost clickable view containing p, searching children
+// before the view itself (children draw on top).
+func (v *View) hitTest(origin geom.Pt, p geom.Pt) (*View, geom.Rect) {
+	if v.Hidden {
+		return nil, geom.Rect{}
+	}
+	abs := v.Bounds.Translate(origin.X, origin.Y)
+	for i := len(v.Children) - 1; i >= 0; i-- {
+		if hit, r := v.Children[i].hitTest(geom.Pt{X: abs.X, Y: abs.Y}, p); hit != nil {
+			return hit, r
+		}
+	}
+	if v.Clickable && abs.Contains(p) {
+		return v, abs
+	}
+	return nil, geom.Rect{}
+}

@@ -1,0 +1,244 @@
+// Package yolite implements the reproduction's one-stage AUI detector — the
+// stand-in for the paper's YOLOv5. It is a genuine grid detector trained
+// from scratch in pure Go: a strided conv/batch-norm/leaky-ReLU backbone
+// with two class-specific heads, mirroring YOLOv5's multi-scale design at a
+// size a single CPU core can train in minutes:
+//
+//   - a stride-8 head for the tiny corner UPOs (fine grid, small anchor)
+//   - a stride-32 head for the large central AGOs (coarse grid, big anchor)
+//
+// Each head predicts, per cell, an objectness logit and a box
+// (sigmoid-offset centre, log-scaled anchor size) — the YOLO parameterisation.
+package yolite
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/render"
+	"repro/internal/tensor"
+)
+
+// Input resolution of the detector (W x H). Screenshots are resampled to
+// this size before inference, like YOLOv5's letterboxed 640x640 input.
+const (
+	InputW = 96
+	InputH = 160
+)
+
+// HeadSpec describes one detection head.
+type HeadSpec struct {
+	Class   dataset.Class
+	Stride  int
+	AnchorW float64
+	AnchorH float64
+}
+
+// The two heads. Anchors are the median ground-truth sizes at input
+// resolution.
+var (
+	UPOHeadSpec = HeadSpec{Class: dataset.ClassUPO, Stride: 8, AnchorW: 6, AnchorH: 6}
+	AGOHeadSpec = HeadSpec{Class: dataset.ClassAGO, Stride: 32, AnchorW: 52, AnchorH: 12}
+)
+
+// GridSize returns the head's grid dimensions (rows, cols).
+func (h HeadSpec) GridSize() (int, int) { return InputH / h.Stride, InputW / h.Stride }
+
+// Model is the detector network. The backbone branches after block B3b: the
+// fine head reads the stride-8 feature map, the coarse head reads stride-32.
+type Model struct {
+	B1, B2, B3, B3b, B4, B5 *nn.Sequential
+	UPOHead, AGOHead        *tensor.Conv2D
+
+	// DisableRefine turns off the edge-snapping post-processor; used by the
+	// ablation benchmarks.
+	DisableRefine bool
+
+	// cached stride-8 activation for the backward pass
+	lastF8 *tensor.Tensor
+}
+
+// NewModel builds a randomly initialised detector.
+func NewModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	return &Model{
+		B1:      nn.ConvBNAct(tensor.NewConv2D(rng, 3, 10, 3, 2, 1)),  // 96x160 -> 48x80
+		B2:      nn.ConvBNAct(tensor.NewConv2D(rng, 10, 16, 3, 2, 1)), // -> 24x40
+		B3:      nn.ConvBNAct(tensor.NewConv2D(rng, 16, 24, 3, 2, 1)), // -> 12x20 (stride 8)
+		B3b:     nn.ConvBNAct(tensor.NewConv2D(rng, 24, 24, 3, 1, 1)), // deeper stride-8 features
+		B4:      nn.ConvBNAct(tensor.NewConv2D(rng, 24, 32, 3, 2, 1)), // -> 6x10
+		B5:      nn.ConvBNAct(tensor.NewConv2D(rng, 32, 32, 3, 2, 1)), // -> 3x5 (stride 32)
+		UPOHead: tensor.NewConv2D(rng, 24, 5, 1, 1, 0),
+		AGOHead: tensor.NewConv2D(rng, 32, 5, 1, 1, 0),
+	}
+}
+
+// Params returns every trainable tensor.
+func (m *Model) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	out = append(out, m.B1.Params()...)
+	out = append(out, m.B2.Params()...)
+	out = append(out, m.B3.Params()...)
+	out = append(out, m.B3b.Params()...)
+	out = append(out, m.B4.Params()...)
+	out = append(out, m.B5.Params()...)
+	out = append(out, m.UPOHead.Params()...)
+	out = append(out, m.AGOHead.Params()...)
+	return out
+}
+
+// backbone is the serialisable layer view of the model, used for weight IO.
+func (m *Model) asSequential() *nn.Sequential {
+	return nn.NewSequential(m.B1, m.B2, m.B3, m.B3b, m.B4, m.B5, m.UPOHead, m.AGOHead)
+}
+
+// Save writes the model weights to path.
+func (m *Model) Save(path string) error { return nn.SaveWeightsFile(path, m.asSequential()) }
+
+// Load reads weights produced by Save.
+func (m *Model) Load(path string) error { return nn.LoadWeightsFile(path, m.asSequential()) }
+
+// Forward runs the backbone and both heads. x is [N, 3, InputH, InputW];
+// the returned maps are [N, 5, GH, GW] for each head.
+func (m *Model) Forward(x *tensor.Tensor, train bool) (upo, ago *tensor.Tensor) {
+	f8 := m.B3b.Forward(m.B3.Forward(m.B2.Forward(m.B1.Forward(x, train), train), train), train)
+	if train {
+		m.lastF8 = f8
+	}
+	upo = m.UPOHead.Forward(f8, train)
+	f32 := m.B5.Forward(m.B4.Forward(f8, train), train)
+	ago = m.AGOHead.Forward(f32, train)
+	return upo, ago
+}
+
+// Backward propagates head gradients through the shared backbone.
+func (m *Model) Backward(dUPO, dAGO *tensor.Tensor) {
+	dF8Head := m.UPOHead.Backward(dUPO)
+	dF32 := m.AGOHead.Backward(dAGO)
+	dF8Deep := m.B4.Backward(m.B5.Backward(dF32))
+	if !dF8Head.SameShape(dF8Deep) {
+		panic("yolite: branch gradients disagree in shape")
+	}
+	sum := tensor.New(dF8Head.Shape...)
+	for i := range sum.Data {
+		sum.Data[i] = dF8Head.Data[i] + dF8Deep.Data[i]
+	}
+	m.B1.Backward(m.B2.Backward(m.B3.Backward(m.B3b.Backward(sum))))
+}
+
+// CanvasToTensor converts an RGBA canvas (already at InputW x InputH) into a
+// normalised [1, 3, H, W] tensor.
+func CanvasToTensor(c *render.Canvas) *tensor.Tensor {
+	if c.W != InputW || c.H != InputH {
+		c = c.Downscale(InputW, InputH)
+	}
+	x := tensor.New(1, 3, InputH, InputW)
+	plane := InputH * InputW
+	for y := 0; y < InputH; y++ {
+		for xx := 0; xx < InputW; xx++ {
+			i := 4 * (y*InputW + xx)
+			o := y*InputW + xx
+			x.Data[o] = float32(c.Pix[i]) / 255
+			x.Data[plane+o] = float32(c.Pix[i+1]) / 255
+			x.Data[2*plane+o] = float32(c.Pix[i+2]) / 255
+		}
+	}
+	return x
+}
+
+// BatchToTensor stacks samples into one [N, 3, H, W] tensor.
+func BatchToTensor(samples []*dataset.Sample) *tensor.Tensor {
+	n := len(samples)
+	x := tensor.New(n, 3, InputH, InputW)
+	per := 3 * InputH * InputW
+	for si, s := range samples {
+		one := CanvasToTensor(s.Input)
+		copy(x.Data[si*per:(si+1)*per], one.Data)
+	}
+	return x
+}
+
+// DecodeHead converts one head's raw output map for batch item n into
+// detections above confThresh. It is exported so alternative inference
+// backends (the int8 ncnn-style port in internal/quant) can share it.
+func DecodeHead(out *tensor.Tensor, n int, spec HeadSpec, confThresh float64) []metrics.Detection {
+	gh, gw := out.Shape[2], out.Shape[3]
+	plane := gh * gw
+	base := n * 5 * plane
+	var dets []metrics.Detection
+	for row := 0; row < gh; row++ {
+		for col := 0; col < gw; col++ {
+			idx := row*gw + col
+			obj := float64(tensor.Sigmoid(out.Data[base+idx]))
+			if obj < confThresh {
+				continue
+			}
+			// Linear (sigmoid-free) centre offsets; see headLoss.
+			tx := clampf(float64(out.Data[base+plane+idx]), -0.5, 1.5)
+			ty := clampf(float64(out.Data[base+2*plane+idx]), -0.5, 1.5)
+			tw := float64(out.Data[base+3*plane+idx])
+			th := float64(out.Data[base+4*plane+idx])
+			cx := (float64(col) + tx) * float64(spec.Stride)
+			cy := (float64(row) + ty) * float64(spec.Stride)
+			w := math.Exp(clampf(tw, -4, 4)) * spec.AnchorW
+			h := math.Exp(clampf(th, -4, 4)) * spec.AnchorH
+			// GUI widgets are pixel aligned, so decoded boxes are snapped
+			// to the pixel grid; this is what makes the paper's strict
+			// IoU >= 0.9 protocol attainable (see also Chen et al. [28]).
+			b := geom.BoxF{
+				X: math.Round(cx - w/2),
+				Y: math.Round(cy - h/2),
+				W: math.Round(w),
+				H: math.Round(h),
+			}
+			dets = append(dets, metrics.Detection{Class: spec.Class, B: b, Score: obj})
+		}
+	}
+	return dets
+}
+
+// PredictTensor runs inference on a prepared input tensor and returns
+// NMS-filtered detections for batch item n, in input-resolution coordinates.
+func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	upo, ago := m.Forward(x, false)
+	dets := DecodeHead(upo, n, UPOHeadSpec, confThresh)
+	dets = append(dets, DecodeHead(ago, n, AGOHeadSpec, confThresh)...)
+	if !m.DisableRefine {
+		dets = RefineDetections(dets, LumaPlane(x, n), InputW, InputH)
+	}
+	// Same-class options are never adjacent on real AUIs, so NMS can be
+	// aggressive; this removes the duplicate fires that multi-cell target
+	// assignment deliberately creates.
+	return metrics.NMS(dets, 0.2)
+}
+
+// Predict runs inference on a screenshot canvas (any resolution) and returns
+// detections scaled back to the canvas's coordinate system.
+func (m *Model) Predict(c *render.Canvas, confThresh float64) []metrics.Detection {
+	x := CanvasToTensor(c)
+	dets := m.PredictTensor(x, 0, confThresh)
+	sx := float64(c.W) / float64(InputW)
+	sy := float64(c.H) / float64(InputH)
+	for i := range dets {
+		dets[i].B = dets[i].B.Scale(sx, sy)
+	}
+	return dets
+}
+
+// DefaultConfThresh is the objectness threshold used throughout the
+// evaluation.
+const DefaultConfThresh = 0.45
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
