@@ -14,6 +14,7 @@ import (
 	"repro/internal/auigen"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/quant"
@@ -236,6 +237,26 @@ func BenchmarkQuantPort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		quant.Port(m, calib)
+	}
+}
+
+// BenchmarkDetectCached measures the detect.WithResultCache fast path: the
+// same screenshot tensor analysed repeatedly (the post-debounce common case)
+// answers from the content-hash cache instead of re-running the conv
+// backbone. Compare against BenchmarkInferenceLatency for the saving.
+func BenchmarkDetectCached(b *testing.B) {
+	env := sharedEnv(b)
+	cached := detect.WithResultCache(env.Device(), 8)
+	sample := env.Split().Test[0]
+	x := yolite.CanvasToTensor(sample.Input)
+	cached.PredictTensor(x, 0, yolite.DefaultConfThresh) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cached.PredictTensor(x, 0, yolite.DefaultConfThresh)
+	}
+	b.StopTimer()
+	if cached.Hits() != b.N {
+		b.Fatalf("expected %d cache hits, got %d", b.N, cached.Hits())
 	}
 }
 

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	darpa-eval [-quick] [-weights weights] [-iou 0.9]
+//	darpa-eval [-quick] [-weights weights] [-iou 0.9] [-detector yolite-int8] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/yolite"
 )
@@ -23,7 +25,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced dataset/epochs")
 	weights := flag.String("weights", "weights", "pretrained weights directory")
 	iou := flag.Float64("iou", 0.9, "IoU matching threshold")
+	detector := flag.String("detector", "yolite-int8", "registry backend to evaluate (see -list)")
+	list := flag.Bool("list", false, "list registered detector backends and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(detect.Names(), "\n"))
+		return
+	}
 
 	opts := []experiments.EnvOption{
 		experiments.WithWeightsDir(*weights),
@@ -34,15 +43,19 @@ func main() {
 	}
 	env := experiments.NewEnv(opts...)
 
-	if *iou != 0.9 {
-		// Custom threshold: print a compact per-class report.
-		eval := yolite.Evaluate(env.Device(), env.Split().Test, *iou)
+	if *iou != 0.9 || *detector != "yolite-int8" {
+		// Custom threshold or backend: print a compact per-class report.
+		d, err := env.Detector(*detector)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval := yolite.Evaluate(d, env.Split().Test, *iou)
 		for _, cls := range []dataset.Class{dataset.ClassUPO, dataset.ClassAGO} {
 			c := eval.Class(cls)
-			fmt.Printf("%s@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", cls, *iou, c.Precision(), c.Recall(), c.F1())
+			fmt.Printf("%s %s@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", d.Name(), cls, *iou, c.Precision(), c.Recall(), c.F1())
 		}
 		all := eval.All()
-		fmt.Printf("All@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", *iou, all.Precision(), all.Recall(), all.F1())
+		fmt.Printf("%s All@IoU%.2f  P=%.3f R=%.3f F1=%.3f\n", d.Name(), *iou, all.Precision(), all.Recall(), all.F1())
 		return
 	}
 	fmt.Println(env.Table3().Format())

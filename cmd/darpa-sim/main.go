@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir]
+//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite]
 package main
 
 import (
@@ -23,9 +23,9 @@ import (
 	"repro/internal/auigen"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/sim"
 	"repro/internal/uikit"
-	"repro/internal/yolite"
 )
 
 func main() {
@@ -35,19 +35,26 @@ func main() {
 	bypass := flag.Bool("bypass", false, "auto-click detected UPOs instead of only decorating")
 	obfuscate := flag.Bool("obfuscate", false, "app obfuscates its resource ids")
 	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
+	detector := flag.String("detector", "yolite", "registry backend to run the service with")
 	flag.Parse()
-
-	model := yolite.NewModel(7)
-	path := filepath.Join(*weights, "yolite.gob")
-	if err := model.Load(path); err != nil {
-		log.Printf("no pretrained weights at %s (%v); training a quick model...", path, err)
-		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
-		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
-	}
 
 	clock := sim.NewClock(42)
 	screen := uikit.NewScreen(384, 640)
 	mgr := a11y.NewManager(clock, screen)
+
+	model, err := detect.Build(*detector, detect.BuildContext{
+		WeightsDir: *weights,
+		Samples: func() []*dataset.Sample {
+			log.Printf("no pretrained weights in %s; training a quick model...", *weights)
+			return auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		},
+		Epochs: 10,
+		Screen: func() *uikit.Screen { return screen },
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	a := app.Launch(clock, mgr, app.Config{
 		Package:         "com.example.shop",
 		MeanAUIInterval: 10 * time.Second,
@@ -102,6 +109,7 @@ func main() {
 	fmt.Printf("decorations drawn:           %d\n", st.DecorationsDrawn)
 	fmt.Printf("auto-bypass clicks:          %d\n", st.Bypasses)
 	fmt.Printf("screenshot buffers rinsed:   %d\n", st.Rinses)
+	fmt.Printf("pipeline stage times:        %s\n", svc.Timings())
 	shown := a.History()
 	byClick := 0
 	for _, h := range shown {

@@ -10,24 +10,29 @@ package main
 
 import (
 	"fmt"
-	"path/filepath"
 	"time"
 
 	"repro/internal/a11y"
 	"repro/internal/app"
 	"repro/internal/auigen"
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/sim"
 	"repro/internal/uikit"
-	"repro/internal/yolite"
 )
 
 func main() {
-	model := yolite.NewModel(7)
-	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
-		fmt.Println("no pretrained weights found; training a quick detector...")
-		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
-		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
+	model, err := detect.Build("yolite", detect.BuildContext{
+		WeightsDir: "weights",
+		Samples: func() []*dataset.Sample {
+			fmt.Println("no pretrained weights found; training a quick detector...")
+			return auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		},
+		Epochs: 10,
+	})
+	if err != nil {
+		panic(err)
 	}
 
 	clock := sim.NewClock(7)

@@ -9,20 +9,25 @@ package main
 
 import (
 	"fmt"
-	"path/filepath"
 
 	"repro/internal/auigen"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/yolite"
 )
 
 func main() {
-	model := yolite.NewModel(7)
-	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
-		fmt.Println("no pretrained weights found; training a quick detector...")
-		samples := auigen.BuildAUISamples(1, 120, auigen.DatasetConfig{})
-		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 12})
+	model, err := detect.Build("yolite", detect.BuildContext{
+		WeightsDir: "weights",
+		Samples: func() []*dataset.Sample {
+			fmt.Println("no pretrained weights found; training a quick detector...")
+			return auigen.BuildAUISamples(1, 120, auigen.DatasetConfig{})
+		},
+		Epochs: 12,
+	})
+	if err != nil {
+		panic(err)
 	}
 
 	evalOn := func(name string, cfg auigen.DatasetConfig) {

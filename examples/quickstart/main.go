@@ -6,21 +6,27 @@ package main
 
 import (
 	"fmt"
-	"path/filepath"
 
 	"repro/internal/auigen"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/yolite"
 )
 
 func main() {
-	// 1. A detector. Use pretrained weights when available; otherwise train
-	//    a small one on the spot (about a minute on one core).
-	model := yolite.NewModel(7)
-	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
-		fmt.Println("no pretrained weights found; training a quick detector...")
-		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
-		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
+	// 1. A detector, built by name from the registry. Pretrained weights are
+	//    used when available; otherwise the builder trains a small model on
+	//    the spot (about a minute on one core).
+	model, err := detect.Build("yolite", detect.BuildContext{
+		WeightsDir: "weights",
+		Samples: func() []*dataset.Sample {
+			fmt.Println("no pretrained weights found; training a quick detector...")
+			return auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		},
+		Epochs: 10,
+	})
+	if err != nil {
+		panic(err)
 	}
 
 	// 2. A dark pattern. The generator builds an advertisement AUI like
@@ -35,7 +41,7 @@ func main() {
 
 	// 3. Detection. The same call DARPA's runtime makes on every stable
 	//    screenshot.
-	dets := model.Predict(sample.Input, yolite.DefaultConfThresh)
+	dets := detect.PredictCanvas(model, sample.Input, yolite.DefaultConfThresh)
 	fmt.Println("detected:")
 	if len(dets) == 0 {
 		fmt.Println("  nothing (try training longer or using pretrained weights)")

@@ -7,7 +7,6 @@ package main
 
 import (
 	"fmt"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -16,9 +15,9 @@ import (
 	"repro/internal/auigen"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/sim"
 	"repro/internal/uikit"
-	"repro/internal/yolite"
 )
 
 type auditRow struct {
@@ -29,11 +28,16 @@ type auditRow struct {
 }
 
 func main() {
-	model := yolite.NewModel(7)
-	if err := model.Load(filepath.Join("weights", "yolite.gob")); err != nil {
-		fmt.Println("no pretrained weights found; training a quick detector...")
-		samples := auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
-		model = yolite.Train(samples, yolite.TrainConfig{Epochs: 10})
+	model, err := detect.Build("yolite", detect.BuildContext{
+		WeightsDir: "weights",
+		Samples: func() []*dataset.Sample {
+			fmt.Println("no pretrained weights found; training a quick detector...")
+			return auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
+		},
+		Epochs: 10,
+	})
+	if err != nil {
+		panic(err)
 	}
 
 	// A small catalogue with different AUI aggressiveness levels.

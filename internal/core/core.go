@@ -18,8 +18,10 @@ import (
 
 	"repro/internal/a11y"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/perfmodel"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/uikit"
@@ -71,6 +73,12 @@ type Config struct {
 	UPOColor, AGOColor render.Color
 	// StrokeWidth is the decoration border width; zero means 3.
 	StrokeWidth int
+	// CacheResults wraps the detector in detect.WithResultCache so repeated
+	// analyses of an unchanged screen skip inference entirely.
+	CacheResults bool
+	// CacheCapacity bounds the result cache (entries); zero means
+	// detect.DefaultCacheCapacity. Ignored unless CacheResults is set.
+	CacheCapacity int
 }
 
 func (c Config) cutoff() time.Duration {
@@ -132,6 +140,17 @@ type Stats struct {
 	Bypasses int
 	// Rinses counts screenshot buffers zeroed after use.
 	Rinses int
+	// Stages holds per-stage run counts and cumulative compute time,
+	// indexed by Stage.
+	Stages [NumStages]StageStats
+}
+
+// Stage returns the counters for one pipeline stage.
+func (s Stats) Stage(st Stage) StageStats {
+	if st < 0 || st >= NumStages {
+		return StageStats{}
+	}
+	return s.Stages[st]
 }
 
 // Analysis is one recorded detection cycle.
@@ -146,7 +165,8 @@ type Service struct {
 	cfg      Config
 	clock    *sim.Clock
 	mgr      *a11y.Manager
-	detector yolite.Predictor
+	detector detect.Detector
+	timings  *perfmodel.Timings
 
 	pending     *sim.Event
 	lastPkg     string
@@ -160,12 +180,16 @@ type Service struct {
 
 // Start registers DARPA on the accessibility manager and returns the
 // running service. detector is the ported on-device model (or any
-// yolite.Predictor).
-func Start(clock *sim.Clock, mgr *a11y.Manager, detector yolite.Predictor, cfg Config) *Service {
+// detect.Detector, typically built via detect.Build).
+func Start(clock *sim.Clock, mgr *a11y.Manager, detector detect.Detector, cfg Config) *Service {
 	if detector == nil && cfg.mode() != ModeMonitor {
 		panic("core: Start requires a detector unless running monitor-only")
 	}
-	s := &Service{cfg: cfg, clock: clock, mgr: mgr, detector: detector}
+	if detector != nil && cfg.CacheResults {
+		detector = detect.WithResultCache(detector, cfg.CacheCapacity)
+	}
+	s := &Service{cfg: cfg, clock: clock, mgr: mgr, detector: detector,
+		timings: &perfmodel.Timings{}}
 	// Event registration (Fig. 5 step 1): all 23 event types.
 	mgr.Register(a11y.TypeAllMask, cfg.NotificationDelay, s.onEvent)
 	return s
@@ -173,6 +197,14 @@ func Start(clock *sim.Clock, mgr *a11y.Manager, detector yolite.Predictor, cfg C
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats { return s.stats }
+
+// Timings returns the per-stage latency recorder. The recorder is live;
+// callers should treat it as read-only.
+func (s *Service) Timings() *perfmodel.Timings { return s.timings }
+
+// Detector returns the detector the service runs, including any cache
+// wrapper installed by Config.CacheResults.
+func (s *Service) Detector() detect.Detector { return s.detector }
 
 // Log returns every analysis performed so far.
 func (s *Service) Log() []Analysis {
@@ -209,7 +241,9 @@ func (s *Service) onEvent(e a11y.Event) {
 	s.pending = s.clock.Schedule(s.cfg.cutoff(), s.analyze)
 }
 
-// analyze runs one detection cycle (Fig. 5 steps 3-5).
+// analyze runs one detection cycle (Fig. 5 steps 3-5) as an explicit
+// pipeline: capture -> preprocess -> infer -> postprocess -> act. Each stage
+// is individually timed into Stats.Stages and the Timings recorder.
 func (s *Service) analyze() {
 	if s.stopped {
 		return
@@ -221,59 +255,32 @@ func (s *Service) analyze() {
 	if s.cfg.mode() == ModeMonitor {
 		return
 	}
-	shot := s.mgr.TakeScreenshot()
-	x := yolite.CanvasToTensor(shot)
-	dets := s.detector.PredictTensor(x, 0, s.cfg.confThresh())
-	// Rinse: discard the captured pixels immediately after inference
-	// (Section IV-E).
-	shot.Zero()
-	s.stats.Rinses++
+	shot := s.capture()
+	pre := s.preprocess(shot)
+	inf := s.infer(pre)
 	s.stats.Analyses++
-	// Scale detections from model input to screen coordinates.
-	screen := s.mgr.Screen()
-	sx := float64(screen.W) / float64(yolite.InputW)
-	sy := float64(screen.H) / float64(yolite.InputH)
-	for i := range dets {
-		dets[i].B = dets[i].B.Scale(sx, sy)
-	}
-	rec := Analysis{At: s.clock.Now(), Package: s.lastPkg, Detections: dets}
+	post := s.postprocess(pre, inf)
+	rec := Analysis{At: s.clock.Now(), Package: s.lastPkg, Detections: post.Detections}
 	s.log = append(s.log, rec)
-	if len(dets) > 0 {
-		s.stats.AUIFlagged++
-		if s.cfg.mode() == ModeFull {
-			s.decorate(dets)
-		}
-	}
-	// Observers run after decoration (they can inspect the overlays) but
-	// before auto-bypass (which mutates the very UI being observed).
-	if s.OnAnalysis != nil {
-		s.OnAnalysis(rec)
-	}
-	if len(dets) > 0 && s.cfg.AutoBypass {
-		s.bypass(dets)
-	}
+	s.act(rec, post)
 }
 
 // decorate draws a high-contrast border overlay around each detected option
 // (Section IV-D), calibrating window coordinates with the anchor-view
-// offset.
-func (s *Service) decorate(dets []metrics.Detection) {
-	offset := s.mgr.WindowOffset()
-	top := s.mgr.Screen().TopWindow()
-	winOrigin := geom.Pt{}
-	if top != nil {
-		winOrigin = geom.Pt{X: top.Frame.X, Y: top.Frame.Y}
-	}
-	for _, d := range dets {
+// offset measured by the postprocess stage. It returns the number of
+// overlays added.
+func (s *Service) decorate(p PostprocessResult) int {
+	added := 0
+	for _, d := range p.Detections {
 		r := d.B.Rect().Inset(-s.cfg.strokeWidth())
 		// WindowManager.addView positions views relative to the app
 		// window; the model reports screen coordinates. Calibration
 		// subtracts the anchor-view offset (Figure 6 lines 8-9).
 		lp := geom.Pt{X: r.X, Y: r.Y}
 		if !s.cfg.DisableCalibration {
-			lp = lp.Sub(offset)
+			lp = lp.Sub(p.Offset)
 		}
-		frame := geom.Rect{X: winOrigin.X + lp.X, Y: winOrigin.Y + lp.Y, W: r.W, H: r.H}
+		frame := geom.Rect{X: p.WinOrigin.X + lp.X, Y: p.WinOrigin.Y + lp.Y, W: r.W, H: r.H}
 		col := s.cfg.agoColor()
 		if d.Class == dataset.ClassUPO {
 			col = s.cfg.upoColor()
@@ -281,7 +288,9 @@ func (s *Service) decorate(dets []metrics.Detection) {
 		w := s.mgr.AddOverlay("org.darpa.aui", frame, decorationView(frame, s.cfg.strokeWidth(), col))
 		s.decorations = append(s.decorations, w)
 		s.stats.DecorationsDrawn++
+		added++
 	}
+	return added
 }
 
 // decorationView builds the border view used as decoration content.
@@ -300,8 +309,9 @@ func decorationView(frame geom.Rect, width int, col render.Color) *uikit.View {
 // bypass auto-clicks the detected UPO regions, highest confidence first
 // (Section IV-D's "automatically sends a click event to the UPO region").
 // Up to three regions are tried: a benign false positive absorbs one click
-// harmlessly, while the real close button still gets hit.
-func (s *Service) bypass(dets []metrics.Detection) {
+// harmlessly, while the real close button still gets hit. It returns the
+// number of clicks dispatched.
+func (s *Service) bypass(dets []metrics.Detection) int {
 	var upos []metrics.Detection
 	for _, d := range dets {
 		if d.Class == dataset.ClassUPO {
@@ -309,7 +319,7 @@ func (s *Service) bypass(dets []metrics.Detection) {
 		}
 	}
 	if len(upos) == 0 {
-		return
+		return 0
 	}
 	sort.SliceStable(upos, func(i, j int) bool { return upos[i].Score > upos[j].Score })
 	if len(upos) > 3 {
@@ -319,6 +329,7 @@ func (s *Service) bypass(dets []metrics.Detection) {
 	for _, d := range upos {
 		s.mgr.DispatchClick(d.B.Rect().Center())
 	}
+	return len(upos)
 }
 
 // clearDecorations removes every decoration overlay.

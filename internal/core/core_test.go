@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/a11y"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -28,6 +29,9 @@ func (f *fakeDetector) PredictTensor(_ *tensor.Tensor, _ int, _ float64) []metri
 	return out
 }
 
+func (f *fakeDetector) Name() string { return "fake" }
+
+var _ detect.Detector = (*fakeDetector)(nil)
 var _ yolite.Predictor = (*fakeDetector)(nil)
 
 func newEnv(seed int64) (*sim.Clock, *a11y.Manager, *uikit.Screen) {

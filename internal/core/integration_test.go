@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,21 +16,40 @@ import (
 	"repro/internal/yolite"
 )
 
+// The integration tests share one trained model: training even the fallback
+// quick model costs ~20s on one core, so building it per test dominates the
+// package's runtime. Inference does not mutate the model, making sharing
+// safe.
+var (
+	sharedModelOnce sync.Once
+	sharedModel     *yolite.Model
+	sharedModelSkip string
+)
+
 // loadOrTrainModel returns a usable detector: pretrained weights when the
-// repository has them, otherwise a briefly trained model.
+// repository has them, otherwise a briefly trained model. All callers get
+// the same instance.
 func loadOrTrainModel(t *testing.T) *yolite.Model {
 	t.Helper()
-	m := yolite.NewModel(7)
-	for _, dir := range []string{"weights", filepath.Join("..", "..", "weights")} {
-		if err := m.Load(filepath.Join(dir, "yolite.gob")); err == nil {
-			return m
+	sharedModelOnce.Do(func() {
+		m := yolite.NewModel(7)
+		for _, dir := range []string{"weights", filepath.Join("..", "..", "weights")} {
+			if err := m.Load(filepath.Join(dir, "yolite.gob")); err == nil {
+				sharedModel = m
+				return
+			}
 		}
+		if os.Getenv("CI") != "" {
+			sharedModelSkip = "no pretrained weights and CI forbids long training"
+			return
+		}
+		samples := auigen.BuildAUISamples(31, 64, auigen.DatasetConfig{})
+		sharedModel = yolite.Train(samples, yolite.TrainConfig{Epochs: 8, Seed: 3})
+	})
+	if sharedModel == nil {
+		t.Skip(sharedModelSkip)
 	}
-	if os.Getenv("CI") != "" {
-		t.Skip("no pretrained weights and CI forbids long training")
-	}
-	samples := auigen.BuildAUISamples(31, 64, auigen.DatasetConfig{})
-	return yolite.Train(samples, yolite.TrainConfig{Epochs: 8, Seed: 3})
+	return sharedModel
 }
 
 // TestEndToEndDecorationLandsOnGroundTruth runs the full stack — simulated

@@ -1,0 +1,64 @@
+// Package detect owns the detector seam of the reproduction: the interface
+// every AUI-detection backend implements (the yolite one-stage model, its
+// int8 port, the RCNN baselines, and the FraudDroid-like metadata
+// heuristic), a named registry so binaries and examples select backends by
+// string, and composable middleware decorators (confidence floor, NMS,
+// result caching keyed on screenshot content, per-stage timing).
+//
+// The contract mirrors the paper's Fig. 5 hand-off: the pipeline gives the
+// detector a normalised screenshot tensor and gets back detections in
+// model-input coordinates; everything upstream (debounce, capture) and
+// downstream (scaling, calibration, decoration) is the pipeline's business,
+// which is what lets Table V swap detectors without touching the service.
+package detect
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// Predictor is the minimal inference surface: a prepared input tensor in,
+// detections (model-input coordinates) out. It matches yolite.Predictor so
+// existing evaluation code keeps working with any backend.
+type Predictor interface {
+	PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection
+}
+
+// Detector is a Predictor with an identity, so registries, tables and logs
+// can refer to backends uniformly.
+type Detector interface {
+	Predictor
+	Name() string
+}
+
+// named adapts an anonymous Predictor into a Detector.
+type named struct {
+	Predictor
+	name string
+}
+
+func (n named) Name() string { return n.name }
+
+// Named attaches a name to a Predictor, turning it into a Detector.
+func Named(name string, p Predictor) Detector {
+	if d, ok := p.(Detector); ok && d.Name() == name {
+		return d
+	}
+	return named{Predictor: p, name: name}
+}
+
+// PredictCanvas runs a detector on a screenshot canvas of any resolution and
+// returns detections scaled back to the canvas's coordinate system — the
+// backend-agnostic version of yolite.(*Model).Predict.
+func PredictCanvas(p Predictor, c *render.Canvas, confThresh float64) []metrics.Detection {
+	x := yolite.CanvasToTensor(c)
+	dets := p.PredictTensor(x, 0, confThresh)
+	sx := float64(c.W) / float64(yolite.InputW)
+	sy := float64(c.H) / float64(yolite.InputH)
+	for i := range dets {
+		dets[i].B = dets[i].B.Scale(sx, sy)
+	}
+	return dets
+}

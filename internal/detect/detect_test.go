@@ -1,0 +1,267 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/render"
+	"repro/internal/tensor"
+	"repro/internal/uikit"
+	"repro/internal/yolite"
+)
+
+// stubDetector records calls and returns a fixed detection set.
+type stubDetector struct {
+	dets       []metrics.Detection
+	calls      int
+	lastThresh float64
+}
+
+func (s *stubDetector) Name() string { return "stub" }
+
+func (s *stubDetector) PredictTensor(_ *tensor.Tensor, _ int, confThresh float64) []metrics.Detection {
+	s.calls++
+	s.lastThresh = confThresh
+	out := make([]metrics.Detection, len(s.dets))
+	copy(out, s.dets)
+	return out
+}
+
+func det(x, y, w, h, score float64) metrics.Detection {
+	return metrics.Detection{Class: dataset.ClassUPO, B: geom.BoxF{X: x, Y: y, W: w, H: h}, Score: score}
+}
+
+func inputTensor() *tensor.Tensor {
+	x := tensor.New(1, 3, yolite.InputH, yolite.InputW)
+	for i := range x.Data {
+		x.Data[i] = float32(i%255) / 255
+	}
+	return x
+}
+
+func TestNamedWrapsAnonymousPredictor(t *testing.T) {
+	s := &stubDetector{}
+	if got := Named("other", s).Name(); got != "other" {
+		t.Fatalf("Named: got %q, want other", got)
+	}
+	// A Detector already carrying the requested name is returned unwrapped.
+	if d := Named("stub", s); d != Detector(s) {
+		t.Fatalf("Named should not re-wrap a detector that already has the name")
+	}
+}
+
+func TestRegistryBuildAndNames(t *testing.T) {
+	Register("test-backend", func(ctx BuildContext) (Detector, error) {
+		return &stubDetector{}, nil
+	})
+	d, err := Build("test-backend", BuildContext{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.Name() != "stub" {
+		t.Fatalf("built detector name = %q", d.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-backend" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing test-backend", Names())
+	}
+}
+
+func TestRegistryUnknownNameListsAlternatives(t *testing.T) {
+	_, err := Build("no-such-backend", BuildContext{})
+	if err == nil {
+		t.Fatal("Build of unknown name should error")
+	}
+	if !strings.Contains(err.Error(), "yolite") {
+		t.Fatalf("error should list registered names, got: %v", err)
+	}
+}
+
+func TestRegistryHasAllBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"yolite", "yolite-masked", "yolite-int8",
+		"faster-rcnn-vgg16", "faster-rcnn-resnet50", "mask-rcnn-vgg16", "mask-rcnn-resnet50",
+		"frauddroid"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing builtin %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestFraudDroidBuilderRequiresScreen(t *testing.T) {
+	if _, err := Build("frauddroid", BuildContext{}); err == nil {
+		t.Fatal("frauddroid without a screen provider should error")
+	}
+	d, err := Build("frauddroid", BuildContext{Screen: func() *uikit.Screen { return nil }})
+	if err != nil {
+		t.Fatalf("frauddroid with screen provider: %v", err)
+	}
+	if d.Name() != "frauddroid" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestWithConfidenceFloor(t *testing.T) {
+	s := &stubDetector{}
+	d := WithConfidenceFloor(s, 0.8)
+	if d.Name() != "stub" {
+		t.Fatalf("floor should preserve the inner name, got %q", d.Name())
+	}
+	d.PredictTensor(inputTensor(), 0, 0.45)
+	if s.lastThresh != 0.8 {
+		t.Fatalf("threshold below the floor should be raised to it, got %v", s.lastThresh)
+	}
+	d.PredictTensor(inputTensor(), 0, 0.9)
+	if s.lastThresh != 0.9 {
+		t.Fatalf("threshold above the floor should pass through, got %v", s.lastThresh)
+	}
+}
+
+func TestWithNMSSuppressesDuplicates(t *testing.T) {
+	s := &stubDetector{dets: []metrics.Detection{
+		det(10, 10, 8, 8, 0.9),
+		det(11, 10, 8, 8, 0.7), // near-duplicate of the first
+		det(50, 50, 8, 8, 0.8),
+	}}
+	d := WithNMS(s, 0.5)
+	if d.Name() != "stub" {
+		t.Fatalf("nms should preserve the inner name, got %q", d.Name())
+	}
+	got := d.PredictTensor(inputTensor(), 0, 0.4)
+	if len(got) != 2 {
+		t.Fatalf("NMS kept %d detections, want 2: %v", len(got), got)
+	}
+}
+
+func TestResultCacheSkipsInference(t *testing.T) {
+	s := &stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}
+	c := WithResultCache(s, 8)
+	x := inputTensor()
+
+	first := c.PredictTensor(x, 0, 0.45)
+	if s.calls != 1 || c.Misses() != 1 || c.Hits() != 0 {
+		t.Fatalf("first call: calls=%d misses=%d hits=%d", s.calls, c.Misses(), c.Hits())
+	}
+	second := c.PredictTensor(x, 0, 0.45)
+	if s.calls != 1 {
+		t.Fatalf("unchanged screen should skip inference, inner ran %d times", s.calls)
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", c.Hits())
+	}
+	if len(second) != len(first) || second[0] != first[0] {
+		t.Fatalf("cached result differs: %v vs %v", second, first)
+	}
+
+	// The pipeline scales boxes in place; the cache must hand out copies.
+	second[0].B.X = 999
+	third := c.PredictTensor(x, 0, 0.45)
+	if third[0].B.X == 999 {
+		t.Fatal("cache returned a shared slice; mutations leak between calls")
+	}
+
+	// Changing a pixel or the threshold is a different key.
+	x.Data[7] += 0.5
+	c.PredictTensor(x, 0, 0.45)
+	if s.calls != 2 {
+		t.Fatalf("changed screen should re-run inference, calls = %d", s.calls)
+	}
+	c.PredictTensor(x, 0, 0.60)
+	if s.calls != 3 {
+		t.Fatalf("changed threshold should re-run inference, calls = %d", s.calls)
+	}
+}
+
+func TestResultCacheEvictsFIFO(t *testing.T) {
+	s := &stubDetector{}
+	c := WithResultCache(s, 2)
+	a, b, d := inputTensor(), inputTensor(), inputTensor()
+	b.Data[0] = 0.9
+	d.Data[0] = 0.8
+
+	c.PredictTensor(a, 0, 0.45) // miss, cache {a}
+	c.PredictTensor(b, 0, 0.45) // miss, cache {a,b}
+	c.PredictTensor(d, 0, 0.45) // miss, evicts a -> {b,d}
+	if c.Len() != 2 {
+		t.Fatalf("capacity 2 cache holds %d entries", c.Len())
+	}
+	c.PredictTensor(a, 0, 0.45) // a was evicted: miss again
+	if s.calls != 4 {
+		t.Fatalf("expected 4 inner calls after eviction, got %d", s.calls)
+	}
+	c.PredictTensor(d, 0, 0.45) // d still cached
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", c.Hits())
+	}
+}
+
+func TestResultCacheBadBatchIndexBypasses(t *testing.T) {
+	s := &stubDetector{}
+	c := WithResultCache(s, 4)
+	x := inputTensor()
+	c.PredictTensor(x, 5, 0.45) // out of range: must delegate, not cache
+	if s.calls != 1 || c.Len() != 0 {
+		t.Fatalf("out-of-range item: calls=%d len=%d", s.calls, c.Len())
+	}
+}
+
+func TestWithTimingRecords(t *testing.T) {
+	s := &stubDetector{}
+	rec := &perfmodel.Timings{}
+	d := WithTiming(s, rec, "")
+	if d.Name() != "stub" {
+		t.Fatalf("timing should preserve the inner name, got %q", d.Name())
+	}
+	d.PredictTensor(inputTensor(), 0, 0.45)
+	d.PredictTensor(inputTensor(), 0, 0.45)
+	if got := rec.Stage("infer").Count; got != 2 {
+		t.Fatalf("recorded %d observations, want 2", got)
+	}
+}
+
+func TestMiddlewareComposes(t *testing.T) {
+	s := &stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}
+	rec := &perfmodel.Timings{}
+	d := WithTiming(WithResultCache(WithNMS(WithConfidenceFloor(s, 0.5), 0.2), 4), rec, "infer")
+	if d.Name() != "stub" {
+		t.Fatalf("composed stack should still report the backend name, got %q", d.Name())
+	}
+	x := inputTensor()
+	d.PredictTensor(x, 0, 0.45)
+	d.PredictTensor(x, 0, 0.45)
+	if s.calls != 1 {
+		t.Fatalf("cache inside the stack should absorb the repeat, inner calls = %d", s.calls)
+	}
+	if rec.Stage("infer").Count != 2 {
+		t.Fatalf("timing outside the cache should see both calls")
+	}
+}
+
+func TestPredictCanvasScalesToScreen(t *testing.T) {
+	// A detection at model-input coords (10,20) 8x4 on a 384x640 canvas
+	// (4x input) should come back at (40,80) 32x16.
+	s := &stubDetector{dets: []metrics.Detection{det(10, 20, 8, 4, 0.9)}}
+	got := PredictCanvas(s, render.NewCanvas(384, 640), 0.45)
+	if len(got) != 1 {
+		t.Fatalf("got %d detections", len(got))
+	}
+	b := got[0].B
+	if b.X != 40 || b.Y != 80 || b.W != 32 || b.H != 16 {
+		t.Fatalf("scaled box = %+v", b)
+	}
+}

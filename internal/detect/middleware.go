@@ -1,0 +1,197 @@
+package detect
+
+import (
+	"hash/maphash"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Middleware decorators wrap a Detector with cross-cutting behaviour while
+// preserving its name, so a decorated backend still reports as itself in
+// tables and logs. Decorators compose by nesting:
+//
+//	d = detect.WithTiming(detect.WithResultCache(detect.WithNMS(base, 0.2), 64), timings)
+
+// floorDetector drops detections below a confidence floor, whatever
+// threshold the caller asked for — the deployment knob the device
+// experiments turn (Section VI-C raises the operating threshold to keep
+// screen-level precision up).
+type floorDetector struct {
+	inner Detector
+	floor float64
+}
+
+// WithConfidenceFloor enforces a minimum confidence: the effective threshold
+// of every call is max(confThresh, floor).
+func WithConfidenceFloor(d Detector, floor float64) Detector {
+	return floorDetector{inner: d, floor: floor}
+}
+
+func (f floorDetector) Name() string { return f.inner.Name() }
+
+func (f floorDetector) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	return f.inner.PredictTensor(x, n, math.Max(confThresh, f.floor))
+}
+
+// nmsDetector applies class-aware non-maximum suppression to the inner
+// detector's output, for backends that do not already suppress duplicates.
+type nmsDetector struct {
+	inner Detector
+	iou   float64
+}
+
+// WithNMS suppresses same-class detections overlapping above iou.
+func WithNMS(d Detector, iou float64) Detector {
+	return nmsDetector{inner: d, iou: iou}
+}
+
+func (m nmsDetector) Name() string { return m.inner.Name() }
+
+func (m nmsDetector) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	return metrics.NMS(m.inner.PredictTensor(x, n, confThresh), m.iou)
+}
+
+// Cache memoises inference results keyed on the screenshot's tensor content,
+// so an unchanged screen (the common case: debounce fires on cosmetic churn
+// that dies outside the model's downsampled view) skips re-inference
+// entirely. Eviction is FIFO at the configured capacity. Safe for concurrent
+// use.
+type Cache struct {
+	inner    Detector
+	capacity int
+
+	mu      sync.Mutex
+	entries map[uint64][]metrics.Detection
+	order   []uint64
+	hits    int
+	misses  int
+}
+
+// DefaultCacheCapacity bounds the cache when WithResultCache is given a
+// non-positive capacity.
+const DefaultCacheCapacity = 32
+
+// WithResultCache wraps d with a content-hash result cache holding up to
+// capacity screens.
+func WithResultCache(d Detector, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{inner: d, capacity: capacity, entries: map[uint64][]metrics.Detection{}}
+}
+
+// Name reports the inner backend's name.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Hits returns how many calls were answered from the cache.
+func (c *Cache) Hits() int { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
+
+// Misses returns how many calls ran the inner detector.
+func (c *Cache) Misses() int { c.mu.Lock(); defer c.mu.Unlock(); return c.misses }
+
+// Len returns the number of cached screens.
+func (c *Cache) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return len(c.entries) }
+
+// cacheSeed is fixed so keys are stable within a process run.
+var cacheSeed = maphash.MakeSeed()
+
+// key hashes batch item n's pixels plus the threshold. Hashing ~46k floats
+// costs microseconds against the ~10ms+ a conv backbone costs, so a hit is
+// three orders of magnitude cheaper than inference.
+func cacheKey(x *tensor.Tensor, n int, confThresh float64) (uint64, bool) {
+	if x == nil || len(x.Shape) == 0 {
+		return 0, false
+	}
+	per := 1
+	for _, d := range x.Shape[1:] {
+		per *= d
+	}
+	lo, hi := n*per, (n+1)*per
+	if lo < 0 || hi > len(x.Data) {
+		return 0, false
+	}
+	var h maphash.Hash
+	h.SetSeed(cacheSeed)
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	putU64(math.Float64bits(confThresh))
+	for i := lo; i < hi; i += 2 {
+		v := uint64(math.Float32bits(x.Data[i]))
+		if i+1 < hi {
+			v |= uint64(math.Float32bits(x.Data[i+1])) << 32
+		}
+		putU64(v)
+	}
+	return h.Sum64(), true
+}
+
+// PredictTensor answers from the cache when the screen content is unchanged
+// and delegates (then memoises) otherwise. Returned slices are fresh copies:
+// the pipeline scales detection boxes in place.
+func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	key, ok := cacheKey(x, n, confThresh)
+	if !ok {
+		return c.inner.PredictTensor(x, n, confThresh)
+	}
+	c.mu.Lock()
+	if dets, hit := c.entries[key]; hit {
+		c.hits++
+		c.mu.Unlock()
+		return append([]metrics.Detection(nil), dets...)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	dets := c.inner.PredictTensor(x, n, confThresh)
+
+	c.mu.Lock()
+	if _, dup := c.entries[key]; !dup {
+		if len(c.order) >= c.capacity {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.entries[key] = append([]metrics.Detection(nil), dets...)
+		c.order = append(c.order, key)
+	}
+	c.mu.Unlock()
+	return dets
+}
+
+// Timed reports every inference's wall-clock latency into a
+// perfmodel.Timings accumulator under the given stage label.
+type Timed struct {
+	inner Detector
+	stage string
+	rec   *perfmodel.Timings
+}
+
+// WithTiming wraps d so each PredictTensor call is timed into rec under
+// stage (empty means "infer").
+func WithTiming(d Detector, rec *perfmodel.Timings, stage string) *Timed {
+	if stage == "" {
+		stage = "infer"
+	}
+	return &Timed{inner: d, stage: stage, rec: rec}
+}
+
+// Name reports the inner backend's name.
+func (t *Timed) Name() string { return t.inner.Name() }
+
+// PredictTensor delegates, recording the call's latency.
+func (t *Timed) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	start := time.Now()
+	dets := t.inner.PredictTensor(x, n, confThresh)
+	t.rec.Observe(t.stage, time.Since(start))
+	return dets
+}

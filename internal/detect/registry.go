@@ -1,0 +1,105 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/uikit"
+)
+
+// BuildContext carries everything a Builder may need to produce a ready
+// detector. Fields are optional; builders error when a field they require is
+// missing.
+type BuildContext struct {
+	// WeightsDir, when non-empty, is consulted for pretrained weight files
+	// (<name>.gob with dashes mapped to underscores) before any training.
+	WeightsDir string
+	// SaveWeights writes freshly trained weights back to WeightsDir.
+	SaveWeights bool
+	// Samples lazily supplies the training pool (and quantisation
+	// calibration set) for backends that must train when no weights exist.
+	Samples func() []*dataset.Sample
+	// Epochs bounds training when the builder has to train; zero lets the
+	// backend pick its default.
+	Epochs int
+	// Seed makes training deterministic; zero means 7 (the shared
+	// experiment model seed).
+	Seed int64
+	// Base, when non-nil, is an already-built detector that derived
+	// backends (the int8 port) reuse instead of rebuilding it.
+	Base Detector
+	// Screen supplies the live screen for metadata-based detectors
+	// (frauddroid), which read the view hierarchy instead of pixels.
+	Screen func() *uikit.Screen
+	// Logf receives progress messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c BuildContext) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c BuildContext) seed() int64 {
+	if c.Seed == 0 {
+		return 7
+	}
+	return c.Seed
+}
+
+func (c BuildContext) samples() ([]*dataset.Sample, error) {
+	if c.Samples == nil {
+		return nil, fmt.Errorf("detect: build context supplies no training samples")
+	}
+	return c.Samples(), nil
+}
+
+// Builder constructs one backend from a build context.
+type Builder func(ctx BuildContext) (Detector, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// Register adds a named backend to the registry. Registering a duplicate
+// name panics: backends register from init functions, so a collision is a
+// programming error, not a runtime condition.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("detect: Register requires a name and a builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("detect: duplicate detector registration: " + name)
+	}
+	registry[name] = b
+}
+
+// Build constructs the named backend. Unknown names list the registered
+// alternatives, so CLI typos are self-explaining.
+func Build(name string, ctx BuildContext) (Detector, error) {
+	registryMu.RLock()
+	b, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("detect: unknown detector %q (registered: %v)", name, Names())
+	}
+	return b(ctx)
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/frauddroid"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
@@ -27,6 +28,16 @@ const (
 	// recall (Table VI attributes the collapse to obfuscated/dynamic ids).
 	obfuscationRate = 0.85
 )
+
+// runDetector returns the backend device experiments run under, selected by
+// WithDetector (default: the int8 on-device port).
+func (e *Env) runDetector() detect.Detector {
+	name := e.detectorName
+	if name == "" {
+		name = "yolite-int8"
+	}
+	return e.mustDetector(name)
+}
 
 func (e *Env) deviceApps() int {
 	if e.apps > 0 {
@@ -66,9 +77,14 @@ func (e *Env) runApp(idx int, ct time.Duration, mode core.Mode, withFD bool) run
 	monkey := app.StartMonkey(clock, mgr, "monkey", 8*time.Second)
 	var fd frauddroid.Detector
 
+	// Expose the run's screen to metadata-based backends for the duration of
+	// this session (device runs are sequential, so a single slot suffices).
+	e.curScreen = screen
+	defer func() { e.curScreen = nil }()
+
 	var res runResult
 	caught := map[*app.AUIShowing]bool{}
-	svc := core.Start(clock, mgr, e.Device(), core.Config{
+	svc := core.Start(clock, mgr, e.runDetector(), core.Config{
 		Cutoff: ct, Mode: mode,
 		// On-device screens carry benign content the detector never sees
 		// at training resolution; a higher operating threshold keeps

@@ -8,13 +8,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/auigen"
 	"repro/internal/dataset"
+	"repro/internal/detect"
 	"repro/internal/quant"
+	"repro/internal/uikit"
 	"repro/internal/yolite"
 )
 
@@ -50,15 +50,14 @@ type Env struct {
 	// before any training happens.
 	WeightsDir string
 
-	cfg          auigen.DatasetConfig
-	split        dataset.Split
-	masked       dataset.Split
-	apps         int
-	maskedEpochs int
+	cfg    auigen.DatasetConfig
+	split  dataset.Split
+	masked dataset.Split
+	apps   int
 
-	float   *yolite.Model
-	maskedM *yolite.Model
-	device  *quant.Model
+	detectorName string
+	detectors    map[string]detect.Detector
+	curScreen    *uikit.Screen
 
 	verbose func(format string, args ...any)
 }
@@ -77,6 +76,10 @@ func WithLogf(f func(string, ...any)) EnvOption { return func(e *Env) { e.verbos
 
 // WithApps overrides the number of simulated apps in device experiments.
 func WithApps(n int) EnvOption { return func(e *Env) { e.apps = n } }
+
+// WithDetector selects the registry backend the device experiments run
+// (default "yolite-int8", the ported on-device model).
+func WithDetector(name string) EnvOption { return func(e *Env) { e.detectorName = name } }
 
 // NewEnv builds the shared datasets (models are trained or loaded lazily).
 func NewEnv(opts ...EnvOption) *Env {
@@ -141,85 +144,98 @@ func withNegatives(pool []*dataset.Sample, cfg auigen.DatasetConfig, seed int64)
 }
 
 // SetFloat injects a float model, bypassing loading/training (tests and
-// ablation benches use it).
-func (e *Env) SetFloat(m *yolite.Model) { e.float = m }
-
-// Float returns the server-side float model, loading pretrained weights when
-// available and training otherwise.
-func (e *Env) Float() *yolite.Model {
-	if e.float == nil {
-		e.float = e.loadOrTrain("yolite", withNegatives(trainPool(e.split), e.cfg, DatasetSeed+1))
+// ablation benches use it). It seeds the detector cache, so Float(),
+// Device() and Detector("yolite") all reuse the injected model.
+func (e *Env) SetFloat(m *yolite.Model) {
+	if e.detectors == nil {
+		e.detectors = map[string]detect.Detector{}
 	}
-	return e.float
+	e.detectors["yolite"] = m
 }
 
-// Masked returns the model trained on text-masked screens.
-func (e *Env) Masked() *yolite.Model {
-	if e.maskedM == nil {
-		cfg := e.cfg
-		cfg.MaskText = true
+// Detector builds (or returns the cached) registry backend under the
+// environment's dataset, weights and seed configuration. All model access
+// in the experiment runners goes through here, so every backend — float,
+// masked, int8, the R-CNN baselines, frauddroid — is selectable by name.
+func (e *Env) Detector(name string) (detect.Detector, error) {
+	if d, ok := e.detectors[name]; ok {
+		return d, nil
+	}
+	d, err := detect.Build(name, e.buildContext(name))
+	if err != nil {
+		return nil, err
+	}
+	if e.detectors == nil {
+		e.detectors = map[string]detect.Detector{}
+	}
+	e.detectors[name] = d
+	return d, nil
+}
+
+// buildContext assembles the per-backend build inputs: the masked variant
+// swaps in the text-masked pool at half depth, the int8 port reuses the
+// float model, and everything else trains on the standard pool with
+// negatives mixed in.
+func (e *Env) buildContext(name string) detect.BuildContext {
+	ctx := detect.BuildContext{
+		WeightsDir:  e.WeightsDir,
+		SaveWeights: e.WeightsDir != "" && !e.Quick,
+		Epochs:      e.epochs(),
+		Seed:        ModelSeed,
+		Screen:      e.CurrentScreen,
+		Logf:        e.verbose,
+	}
+	switch name {
+	case "yolite-masked":
 		// The masked variant exists to show parity with the unmasked model
 		// (Table IV), not to maximise accuracy; when no pretrained weights
 		// exist it trains at half depth to bound the harness runtime.
-		saved := e.maskedEpochs
-		e.maskedEpochs = max(8, e.epochs()/2)
-		pool := trainPool(e.MaskedSplit())
-		if !e.Quick && len(pool) > 500 {
-			pool = pool[:500]
+		ctx.Epochs = max(8, e.epochs()/2)
+		ctx.Samples = func() []*dataset.Sample {
+			cfg := e.cfg
+			cfg.MaskText = true
+			pool := trainPool(e.MaskedSplit())
+			if !e.Quick && len(pool) > 500 {
+				pool = pool[:500]
+			}
+			return withNegatives(pool, cfg, MaskedSeed+1)
 		}
-		e.maskedM = e.loadOrTrain("yolite_masked", withNegatives(pool, cfg, MaskedSeed+1))
-		e.maskedEpochs = saved
+	case "yolite-int8":
+		ctx.Base = e.Float()
+		// Calibration only needs a handful of images; the builder truncates.
+		ctx.Samples = func() []*dataset.Sample { return trainPool(e.split) }
+	default:
+		ctx.Samples = func() []*dataset.Sample {
+			return withNegatives(trainPool(e.split), e.cfg, DatasetSeed+1)
+		}
 	}
-	return e.maskedM
+	return ctx
 }
+
+// mustDetector is Detector for the built-in names whose builders cannot
+// fail under an Env (their contexts always carry samples).
+func (e *Env) mustDetector(name string) detect.Detector {
+	d, err := e.Detector(name)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return d
+}
+
+// Float returns the server-side float model, loading pretrained weights when
+// available and training otherwise.
+func (e *Env) Float() *yolite.Model { return e.mustDetector("yolite").(*yolite.Model) }
+
+// Masked returns the model trained on text-masked screens.
+func (e *Env) Masked() *yolite.Model { return e.mustDetector("yolite-masked").(*yolite.Model) }
 
 // Device returns the int8-ported on-device model.
-func (e *Env) Device() *quant.Model {
-	if e.device == nil {
-		pool := trainPool(e.split)
-		calib := pool
-		if len(calib) > 16 {
-			calib = calib[:16]
-		}
-		e.device = quant.Port(e.Float(), calib)
-	}
-	return e.device
-}
+func (e *Env) Device() *quant.Model { return e.mustDetector("yolite-int8").(*quant.Model) }
 
-func (e *Env) loadOrTrain(name string, pool []*dataset.Sample) *yolite.Model {
-	if e.WeightsDir != "" {
-		path := filepath.Join(e.WeightsDir, name+".gob")
-		if _, err := os.Stat(path); err == nil {
-			m := yolite.NewModel(ModelSeed)
-			if err := m.Load(path); err == nil {
-				e.verbose("loaded %s", path)
-				return m
-			}
-			e.verbose("weight file %s unusable; retraining", path)
-		}
-	}
-	epochs := e.epochs()
-	if e.maskedEpochs > 0 {
-		epochs = e.maskedEpochs
-	}
-	e.verbose("training %s (%d samples, %d epochs)...", name, len(pool), epochs)
-	m := yolite.Train(pool, yolite.TrainConfig{
-		Epochs: epochs,
-		Seed:   ModelSeed,
-		Progress: func(ep int, l float64) {
-			if ep%4 == 0 {
-				e.verbose("  %s epoch %d loss %.2f", name, ep, l)
-			}
-		},
-	})
-	if e.WeightsDir != "" && !e.Quick {
-		path := filepath.Join(e.WeightsDir, name+".gob")
-		if err := m.Save(path); err == nil {
-			e.verbose("saved %s", path)
-		}
-	}
-	return m
-}
+// CurrentScreen returns the screen of the device run in progress (nil
+// outside device experiments); metadata-based detectors read it instead of
+// pixels.
+func (e *Env) CurrentScreen() *uikit.Screen { return e.curScreen }
 
 // Table is a formatted experiment result.
 type Table struct {

@@ -1,0 +1,52 @@
+package frauddroid
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/uikit"
+)
+
+func TestAdapterNilScreenReturnsNothing(t *testing.T) {
+	a := &ViewAdapter{}
+	if dets := a.PredictTensor(tensor.New(1, 3, 160, 96), 0, 0.5); dets != nil {
+		t.Fatalf("no screen provider should yield nil, got %v", dets)
+	}
+	a.Screen = func() *uikit.Screen { return nil }
+	if dets := a.PredictTensor(tensor.New(1, 3, 160, 96), 0, 0.5); dets != nil {
+		t.Fatalf("nil screen should yield nil, got %v", dets)
+	}
+}
+
+func TestAdapterScalesToModelInput(t *testing.T) {
+	// Find a seed the heuristic detects (id-based, deterministic).
+	for seed := int64(0); seed < 20; seed++ {
+		s, _ := screenWithAUI(t, false, seed)
+		a := &ViewAdapter{Screen: func() *uikit.Screen { return s }}
+		x := tensor.New(1, 3, 160, 96) // model-input shape: 4x downscale of 384x640
+		dets := a.PredictTensor(x, 0, 0.5)
+		if len(dets) == 0 {
+			continue
+		}
+		for _, d := range dets {
+			b := d.B
+			if b.X < 0 || b.Y < 0 || b.X+b.W > 96 || b.Y+b.H > 160 {
+				t.Fatalf("detection %v not in model-input coordinates", b)
+			}
+			if d.Score != 1 {
+				t.Fatalf("heuristic detections are binary, score = %v", d.Score)
+			}
+		}
+		// Without shape information the same boxes come back unscaled
+		// (screen coordinates), so they are 4x larger.
+		raw := a.PredictTensor(nil, 0, 0.5)
+		if len(raw) != len(dets) {
+			t.Fatalf("nil tensor changed detection count: %d vs %d", len(raw), len(dets))
+		}
+		if raw[0].B.W != dets[0].B.W*4 {
+			t.Fatalf("unscaled width %v, scaled %v — want 4x ratio", raw[0].B.W, dets[0].B.W)
+		}
+		return
+	}
+	t.Skip("no seed detected; covered by aggregate heuristic tests")
+}

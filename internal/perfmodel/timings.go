@@ -1,0 +1,94 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LatencyStats accumulates wall-clock latency observations for one pipeline
+// stage. The zero value is ready to use.
+type LatencyStats struct {
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Observe folds one measurement into the counters.
+func (l *LatencyStats) Observe(d time.Duration) {
+	l.Count++
+	l.Total += d
+	if d > l.Max {
+		l.Max = d
+	}
+}
+
+// Mean returns the average observed latency, 0 when nothing was observed.
+func (l LatencyStats) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Count)
+}
+
+// Timings collects per-stage latency counters — the measured counterpart of
+// the analytical per-unit costs above. The service pipeline and the
+// detect.WithTiming middleware both feed it, so an operator can see where a
+// detection cycle spends its time (the decomposition behind Table VII's
+// incremental rows). Safe for concurrent use.
+type Timings struct {
+	mu     sync.Mutex
+	stages map[string]*LatencyStats
+}
+
+// Observe records one measurement for the named stage.
+func (t *Timings) Observe(stage string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stages == nil {
+		t.stages = make(map[string]*LatencyStats)
+	}
+	s := t.stages[stage]
+	if s == nil {
+		s = &LatencyStats{}
+		t.stages[stage] = s
+	}
+	s.Observe(d)
+}
+
+// Stage returns a snapshot of one stage's counters.
+func (t *Timings) Stage(name string) LatencyStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.stages[name]; ok {
+		return *s
+	}
+	return LatencyStats{}
+}
+
+// Stages returns the observed stage names, sorted.
+func (t *Timings) Stages() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.stages))
+	for name := range t.stages {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a one-line-per-stage summary for logs.
+func (t *Timings) String() string {
+	var b strings.Builder
+	for i, name := range t.Stages() {
+		s := t.Stage(name)
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: n=%d mean=%v max=%v", name, s.Count, s.Mean().Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

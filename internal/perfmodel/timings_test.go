@@ -1,0 +1,43 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyStatsObserve(t *testing.T) {
+	var l LatencyStats
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if l.Count != 2 || l.Total != 40*time.Millisecond || l.Max != 30*time.Millisecond {
+		t.Fatalf("stats = %+v", l)
+	}
+	if l.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+	if (LatencyStats{}).Mean() != 0 {
+		t.Fatal("zero-value mean should be 0")
+	}
+}
+
+func TestTimingsStages(t *testing.T) {
+	rec := &Timings{}
+	rec.Observe("infer", 5*time.Millisecond)
+	rec.Observe("infer", 7*time.Millisecond)
+	rec.Observe("capture", time.Millisecond)
+
+	if got := rec.Stage("infer").Count; got != 2 {
+		t.Fatalf("infer count = %d", got)
+	}
+	if got := rec.Stage("missing").Count; got != 0 {
+		t.Fatalf("unknown stage count = %d", got)
+	}
+	stages := rec.Stages()
+	if len(stages) != 2 || stages[0] != "capture" || stages[1] != "infer" {
+		t.Fatalf("stages = %v, want sorted [capture infer]", stages)
+	}
+	if s := rec.String(); !strings.Contains(s, "infer: n=2") {
+		t.Fatalf("summary %q missing infer stats", s)
+	}
+}

@@ -275,6 +275,9 @@ func (qm *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []me
 
 var _ yolite.Predictor = (*Model)(nil)
 
+// Name identifies the backend in registries and result tables.
+func (qm *Model) Name() string { return "yolite-int8" }
+
 // WeightBytes reports the size of the quantised weights in bytes, the
 // "smaller model size" the paper credits ncnn with.
 func (qm *Model) WeightBytes() int {

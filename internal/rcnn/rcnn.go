@@ -35,6 +35,19 @@ func (v Variant) Name() string {
 	return family + "+" + backbone
 }
 
+// Slug returns the registry-friendly backend name ("mask-rcnn-resnet50").
+func (v Variant) Slug() string {
+	family := "faster-rcnn"
+	if v.Refine {
+		family = "mask-rcnn"
+	}
+	backbone := "vgg16"
+	if v.Residual {
+		backbone = "resnet50"
+	}
+	return family + "-" + backbone
+}
+
 // Variants lists the four Table V baselines in the paper's row order.
 var Variants = []Variant{
 	{Refine: false, Residual: false},
@@ -218,6 +231,9 @@ func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 }
 
 var _ yolite.Predictor = (*Model)(nil)
+
+// Name identifies the backend in registries and result tables.
+func (m *Model) Name() string { return m.Variant.Slug() }
 
 // TrainConfig controls two-stage training. The zero value is the full
 // experiment configuration.

@@ -77,6 +77,9 @@ func NewModel(seed int64) *Model {
 	}
 }
 
+// Name identifies the backend in registries and result tables.
+func (m *Model) Name() string { return "yolite" }
+
 // Params returns every trainable tensor.
 func (m *Model) Params() []*tensor.Tensor {
 	var out []*tensor.Tensor
