@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/quant"
+	"repro/internal/tensor"
 	"repro/internal/yolite"
 )
 
@@ -257,6 +258,54 @@ func BenchmarkDetectCached(b *testing.B) {
 	b.StopTimer()
 	if cached.Hits() != b.N {
 		b.Fatalf("expected %d cache hits, got %d", b.N, cached.Hits())
+	}
+}
+
+// --- Batched inference (the detector batch seam) ---
+
+// benchBatch stacks the first n test screens into one [n, 3, H, W] tensor.
+func benchBatch(b *testing.B, n int) *tensor.Tensor {
+	b.Helper()
+	test := sharedEnv(b).Split().Test
+	if len(test) < n {
+		b.Skipf("quick test split has %d screens, need %d", len(test), n)
+	}
+	return yolite.BatchToTensor(test[:n])
+}
+
+// BenchmarkPredictBatch runs eight screens through the native batch path:
+// one backbone forward decodes all items. Compare against
+// BenchmarkPredictBatchPerItem — the pre-fix caller pattern, which re-forwards
+// the whole stacked tensor once per item and so does 8x the conv work.
+func BenchmarkPredictBatch(b *testing.B) {
+	m := sharedEnv(b).Float()
+	x := benchBatch(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(x, yolite.DefaultConfThresh)
+	}
+}
+
+// BenchmarkPredictBatchPerItem is the quadratic baseline: the per-item
+// PredictTensor loop over the same eight-screen tensor.
+func BenchmarkPredictBatchPerItem(b *testing.B) {
+	m := sharedEnv(b).Float()
+	x := benchBatch(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 8; n++ {
+			m.PredictTensor(x, n, yolite.DefaultConfThresh)
+		}
+	}
+}
+
+// BenchmarkPredictBatchInt8 is the device-model (int8) batch path.
+func BenchmarkPredictBatchInt8(b *testing.B) {
+	m := sharedEnv(b).Device()
+	x := benchBatch(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(x, yolite.DefaultConfThresh)
 	}
 }
 

@@ -2,6 +2,12 @@
 // discussion (Section VII) — batch-audit a catalogue of apps for asymmetric
 // dark UI patterns and rank them by how aggressively they show AUIs.
 //
+// Unlike the live run-time decorator (one screen per debounce cycle), an
+// audit holds every captured screen up front, so inference runs through the
+// detector's batch seam: screens are stacked eight at a time and the conv
+// backbone forwards once per stack (core.AuditScreens), with a result cache
+// absorbing the many identical screens a monkey crawl revisits.
+//
 //	go run ./examples/storeaudit
 package main
 
@@ -16,8 +22,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/perfmodel"
+	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/uikit"
+	"repro/internal/yolite"
 )
 
 type auditRow struct {
@@ -48,30 +57,48 @@ func main() {
 		{Package: "com.deal.shop", MeanAUIInterval: 12 * time.Second, GenSeed: 14},
 	}
 
-	var rows []auditRow
-	for _, cfg := range catalogue {
+	// Phase 1: crawl each app with a monkey, sampling a screenshot every two
+	// simulated seconds. No inference happens here — screens are only
+	// collected, which is what lets phase 2 batch them.
+	shotsPerApp := make([][]*render.Canvas, len(catalogue))
+	popups := make([]int, len(catalogue))
+	for i, cfg := range catalogue {
 		clock := sim.NewClock(1)
 		screen := uikit.NewScreen(384, 640)
 		mgr := a11y.NewManager(clock, screen)
 		a := app.Launch(clock, mgr, cfg)
 		monkey := app.StartMonkey(clock, mgr, "auditor", 2*time.Second)
 
-		row := auditRow{pkg: cfg.Package}
-		svc := core.Start(clock, mgr, model, core.Config{Mode: core.ModeDetect})
-		svc.OnAnalysis = func(an core.Analysis) {
-			row.screens++
-			for _, d := range an.Detections {
+		sampler := clock.NewTicker(2*time.Second, func() {
+			shotsPerApp[i] = append(shotsPerApp[i], mgr.TakeScreenshot())
+		})
+		clock.RunUntil(2 * time.Minute)
+		sampler.Stop()
+		monkey.Stop()
+		popups[i] = len(a.History())
+		a.Stop()
+	}
+
+	// Phase 2: one batched inference pass over the whole catalogue. The
+	// timing middleware records amortised per-screen latency; the cache
+	// dedupes screens whose content did not change between samples.
+	rec := &perfmodel.Timings{}
+	cached := detect.WithResultCache(model, 256)
+	auditor := detect.WithTiming(cached, rec, "batch-infer")
+
+	var rows []auditRow
+	total := 0
+	for i, cfg := range catalogue {
+		row := auditRow{pkg: cfg.Package, screens: len(shotsPerApp[i]), popups: popups[i]}
+		for _, dets := range core.AuditScreens(auditor, shotsPerApp[i], yolite.DefaultConfThresh, core.DefaultAuditBatch) {
+			for _, d := range dets {
 				if d.Class == dataset.ClassUPO {
 					row.auiScreens++
 					break
 				}
 			}
 		}
-		clock.RunUntil(2 * time.Minute)
-		monkey.Stop()
-		svc.Stop()
-		row.popups = len(a.History())
-		a.Stop()
+		total += row.screens
 		rows = append(rows, row)
 	}
 
@@ -79,10 +106,12 @@ func main() {
 		return float64(rows[i].auiScreens)/float64(rows[i].screens+1) >
 			float64(rows[j].auiScreens)/float64(rows[j].screens+1)
 	})
-	fmt.Println("store audit report (2 simulated minutes per app):")
+	fmt.Println("store audit report (2 simulated minutes per app, batched inference):")
 	fmt.Printf("%-18s %8s %12s %14s\n", "package", "screens", "AUI screens", "actual popups")
 	for _, r := range rows {
 		fmt.Printf("%-18s %8d %12d %14d\n", r.pkg, r.screens, r.auiScreens, r.popups)
 	}
-	fmt.Println("\napps at the top of the list warrant manual review before listing.")
+	fmt.Printf("\naudited %d screens: %s (cache: %d hits / %d misses)\n",
+		total, rec.String(), cached.Hits(), cached.Misses())
+	fmt.Println("apps at the top of the list warrant manual review before listing.")
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/yolite"
+)
+
+// DefaultAuditBatch is the chunk size AuditScreens uses when given a
+// non-positive batch size.
+const DefaultAuditBatch = 8
+
+// AuditScreens batch-analyses captured screenshots offline — the app-store /
+// regulator workload of the paper's Section VII discussion. Where the live
+// service (Service.analyze) handles one debounce-stable screen at a time,
+// an audit holds a whole catalogue of screens up front: they are stacked
+// into [batchSize, 3, H, W] chunks and run through the detector's batch
+// seam (detect.PredictBatch), amortising one backbone forward across every
+// screen of a chunk. Detections come back per screen, scaled to that
+// canvas's own coordinate system like detect.PredictCanvas.
+//
+// Any detect.Predictor works: backends and middleware with a native batch
+// path (yolite, the int8 port, the caching/NMS/timing decorators) get the
+// whole chunk in one call, everything else falls back to a per-item loop.
+func AuditScreens(p detect.Predictor, shots []*render.Canvas, confThresh float64, batchSize int) [][]metrics.Detection {
+	if batchSize <= 0 {
+		batchSize = DefaultAuditBatch
+	}
+	out := make([][]metrics.Detection, 0, len(shots))
+	for start := 0; start < len(shots); start += batchSize {
+		chunk := shots[start:min(start+batchSize, len(shots))]
+		x := yolite.CanvasesToTensor(chunk)
+		for i, dets := range detect.PredictBatch(p, x, confThresh) {
+			sx := float64(chunk[i].W) / float64(yolite.InputW)
+			sy := float64(chunk[i].H) / float64(yolite.InputH)
+			for j := range dets {
+				dets[j].B = dets[j].B.Scale(sx, sy)
+			}
+			out = append(out, dets)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package detect
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// BatchPredictor is the batched inference surface: one [N, 3, H, W] tensor
+// in, one detection slice per batch item out. Backends that can amortise a
+// single backbone forward across the whole batch (yolite, the int8 port)
+// implement it natively; everything else is served by the PredictBatch
+// fallback. Item order is preserved: result[i] belongs to batch item i.
+type BatchPredictor interface {
+	PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection
+}
+
+// PredictBatch runs p over every item of the batch tensor x. A backend (or
+// middleware stack) implementing BatchPredictor receives the whole tensor in
+// one call; anything else falls back to a per-item PredictTensor loop.
+//
+// The batch path is what makes store-audit style workloads linear: a
+// per-item loop over Predictors whose PredictTensor forwards the full batch
+// (the historical yolite/quant contract) costs N full-batch forwards — N^2
+// item-forwards — where PredictBatch costs exactly one.
+func PredictBatch(p Predictor, x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	if x == nil || len(x.Shape) == 0 {
+		return nil
+	}
+	if bp, ok := p.(BatchPredictor); ok {
+		return bp.PredictBatch(x, confThresh)
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		out[i] = p.PredictTensor(x, i, confThresh)
+	}
+	return out
+}
+
+// DefaultEvalBatch is the batch size EvaluateBatch uses when given a
+// non-positive one.
+const DefaultEvalBatch = 8
+
+// EvaluateBatch is the batched counterpart of yolite.Evaluate: it stacks
+// samples into [batchSize, 3, H, W] tensors and runs each chunk through the
+// detector's batch path, so dataset-scale evaluations pay one backbone
+// forward per chunk instead of one per image. Detections are identical to
+// the per-item loop; only the amortisation changes.
+func EvaluateBatch(p Predictor, samples []*dataset.Sample, iouThresh float64, batchSize int) *metrics.Evaluation {
+	if batchSize <= 0 {
+		batchSize = DefaultEvalBatch
+	}
+	eval := metrics.NewEvaluation()
+	for start := 0; start < len(samples); start += batchSize {
+		end := min(start+batchSize, len(samples))
+		x := yolite.BatchToTensor(samples[start:end])
+		for i, dets := range PredictBatch(p, x, yolite.DefaultConfThresh) {
+			eval.AddSample(dets, samples[start+i].Boxes, iouThresh)
+		}
+	}
+	return eval
+}

@@ -1,0 +1,251 @@
+package detect
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/auigen"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// randomBatch builds an [n, 3, H, W] tensor of deterministic pseudo-random
+// screen content, each item distinct.
+func randomBatch(n int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 3, yolite.InputH, yolite.InputW)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	return x
+}
+
+// batchStub is a natively batch-capable stub that records the batch sizes it
+// was handed.
+type batchStub struct {
+	stubDetector
+	batchSizes []int
+}
+
+func (s *batchStub) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	s.batchSizes = append(s.batchSizes, x.Shape[0])
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		out[i] = s.PredictTensor(x, i, confThresh)
+	}
+	return out
+}
+
+// TestPredictBatchEquivalence is the tentpole's correctness contract: the
+// native batch paths of the float and int8 backends must return exactly what
+// a per-item PredictTensor loop returns, for every item.
+func TestPredictBatchEquivalence(t *testing.T) {
+	m := yolite.NewModel(3)
+	qm := quant.Port(m, nil)
+	x := randomBatch(4, 42)
+	for _, tc := range []struct {
+		name string
+		p    Predictor
+	}{
+		{"yolite", m},
+		{"yolite-int8", qm},
+	} {
+		batched := PredictBatch(tc.p, x, 0.3)
+		if len(batched) != 4 {
+			t.Fatalf("%s: PredictBatch returned %d items, want 4", tc.name, len(batched))
+		}
+		total := 0
+		for n := 0; n < 4; n++ {
+			loop := tc.p.PredictTensor(x, n, 0.3)
+			if !reflect.DeepEqual(batched[n], loop) {
+				t.Errorf("%s item %d: batch %v != per-item %v", tc.name, n, batched[n], loop)
+			}
+			total += len(loop)
+		}
+		if total == 0 {
+			t.Errorf("%s: equivalence test vacuous, no detections produced", tc.name)
+		}
+	}
+}
+
+// TestQuantHonoursDisableRefine checks the ablation flag ported from the
+// float model actually changes the int8 output, and that Port seeds it.
+func TestQuantHonoursDisableRefine(t *testing.T) {
+	m := yolite.NewModel(3)
+	qm := quant.Port(m, nil)
+	x := randomBatch(1, 7)
+	with := qm.PredictTensor(x, 0, 0.3)
+	qm.DisableRefine = true
+	without := qm.PredictTensor(x, 0, 0.3)
+	if reflect.DeepEqual(with, without) {
+		t.Fatal("DisableRefine had no effect on the int8 backend's detections")
+	}
+	m.DisableRefine = true
+	if !quant.Port(m, nil).DisableRefine {
+		t.Fatal("Port should carry the source model's DisableRefine setting")
+	}
+}
+
+func TestPredictBatchFallbackLoopsPerItem(t *testing.T) {
+	s := &stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}
+	out := PredictBatch(s, randomBatch(3, 1), 0.45)
+	if len(out) != 3 || s.calls != 3 {
+		t.Fatalf("fallback: %d items, %d inner calls (want 3/3)", len(out), s.calls)
+	}
+	if PredictBatch(s, nil, 0.45) != nil {
+		t.Fatal("nil tensor should produce nil result")
+	}
+}
+
+func TestNamedPreservesBatchPath(t *testing.T) {
+	s := &batchStub{}
+	Named("renamed", s).(BatchPredictor).PredictBatch(randomBatch(2, 1), 0.45)
+	if len(s.batchSizes) != 1 || s.batchSizes[0] != 2 {
+		t.Fatalf("named wrapper severed the batch path: inner saw %v", s.batchSizes)
+	}
+}
+
+func TestFloorAndNMSBatch(t *testing.T) {
+	s := &batchStub{stubDetector: stubDetector{dets: []metrics.Detection{
+		det(10, 10, 8, 8, 0.9),
+		det(11, 10, 8, 8, 0.7), // near-duplicate, NMS fodder
+	}}}
+	d := WithNMS(WithConfidenceFloor(s, 0.8), 0.5)
+	out := PredictBatch(d, randomBatch(2, 1), 0.45)
+	if s.lastThresh != 0.8 {
+		t.Fatalf("floor not applied on the batch path: thresh %v", s.lastThresh)
+	}
+	if len(s.batchSizes) != 1 || s.batchSizes[0] != 2 {
+		t.Fatalf("middleware broke the native batch hand-off: %v", s.batchSizes)
+	}
+	for i, dets := range out {
+		if len(dets) != 1 {
+			t.Fatalf("item %d: NMS kept %d detections, want 1", i, len(dets))
+		}
+	}
+}
+
+// TestCacheBatchCompactsMisses covers the cache's batch semantics: hits are
+// answered from the memo, the miss sub-batch is compacted (including in-batch
+// duplicates) before reaching the backend, and every item still gets its
+// result.
+func TestCacheBatchCompactsMisses(t *testing.T) {
+	s := &batchStub{stubDetector: stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}}
+	c := WithResultCache(s, 8)
+
+	// Warm the cache with item 1's content via the single-item path.
+	x := randomBatch(4, 9)
+	per := len(x.Data) / 4
+	c.PredictTensor(x, 1, 0.45)
+	if c.Misses() != 1 {
+		t.Fatalf("warmup misses = %d", c.Misses())
+	}
+	// Make item 3 a duplicate of item 0.
+	copy(x.Data[3*per:4*per], x.Data[0:per])
+
+	out := c.PredictBatch(x, 0.45)
+	if len(out) != 4 {
+		t.Fatalf("got %d items", len(out))
+	}
+	for i, dets := range out {
+		if len(dets) != 1 {
+			t.Fatalf("item %d: %d detections, want 1", i, len(dets))
+		}
+	}
+	// Item 1 hit; items 0, 2, 3 missed; the sub-batch holds only the two
+	// unique missing screens (0 and 2).
+	if c.Hits() != 1 || c.Misses() != 4 {
+		t.Fatalf("hits=%d misses=%d, want 1/4", c.Hits(), c.Misses())
+	}
+	if len(s.batchSizes) != 1 || s.batchSizes[0] != 2 {
+		t.Fatalf("miss sub-batch sizes = %v, want [2]", s.batchSizes)
+	}
+
+	// Everything is memoised now: a repeat batch is all hits, no inner call.
+	calls := s.calls
+	c.PredictBatch(x, 0.45)
+	if s.calls != calls {
+		t.Fatalf("fully cached batch still ran the backend")
+	}
+	if c.Hits() != 5 {
+		t.Fatalf("hits after repeat = %d, want 5", c.Hits())
+	}
+
+	// Returned slices must be copies: mutating one item must not leak.
+	out2 := c.PredictBatch(x, 0.45)
+	out2[0][0].B.X = 999
+	if c.PredictBatch(x, 0.45)[0][0].B.X == 999 {
+		t.Fatal("cache batch path returned a shared slice")
+	}
+}
+
+// TestWithTimingNilRecorder: a nil *perfmodel.Timings must be a no-op, not a
+// nil-pointer dereference on the first Observe.
+func TestWithTimingNilRecorder(t *testing.T) {
+	s := &stubDetector{}
+	d := WithTiming(s, nil, "infer")
+	d.PredictTensor(randomBatch(1, 1), 0, 0.45)
+	d.PredictBatch(randomBatch(2, 1), 0.45)
+	if s.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3", s.calls)
+	}
+}
+
+func TestWithTimingRecordsBatchItemCount(t *testing.T) {
+	rec := &perfmodel.Timings{}
+	d := WithTiming(&stubDetector{}, rec, "")
+	d.PredictBatch(randomBatch(3, 1), 0.45)
+	if got := rec.Stage("infer").Count; got != 3 {
+		t.Fatalf("batch of 3 recorded Count=%d, want 3", got)
+	}
+}
+
+// TestEvaluateBatchMatchesEvaluate: batching the evaluation loop must not
+// change the confusion counts.
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping dataset generation in -short mode")
+	}
+	m := yolite.NewModel(3)
+	samples := auigen.BuildAUISamples(5, 7, auigen.DatasetConfig{})
+	want := yolite.Evaluate(m, samples, 0.5).All()
+	got := EvaluateBatch(m, samples, 0.5, 3).All()
+	if got != want {
+		t.Fatalf("EvaluateBatch counts %+v != Evaluate counts %+v", got, want)
+	}
+}
+
+// TestConcurrentPredictSharedModel drives PredictTensor and PredictBatch on
+// one shared model from many goroutines under -race, proving inference is
+// read-only: Conv2D.lastIn and Model.lastF8 are only written under
+// train=true, which is what makes the parallel batch workers sound.
+func TestConcurrentPredictSharedModel(t *testing.T) {
+	m := yolite.NewModel(3)
+	qm := quant.Port(m, nil)
+	x := randomBatch(2, 11)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				switch g % 4 {
+				case 0:
+					m.PredictTensor(x, i, 0.4)
+				case 1:
+					m.PredictBatch(x, 0.4)
+				case 2:
+					qm.PredictTensor(x, i, 0.4)
+				default:
+					qm.PredictBatch(x, 0.4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

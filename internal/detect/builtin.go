@@ -33,6 +33,14 @@ var (
 	_ Detector = (*frauddroid.ViewAdapter)(nil)
 )
 
+// Backends with a native batch path (the RCNN baselines reconstruct a canvas
+// per item, so they go through the PredictBatch fallback loop instead).
+var (
+	_ BatchPredictor = (*yolite.Model)(nil)
+	_ BatchPredictor = (*quant.Model)(nil)
+	_ BatchPredictor = (*frauddroid.ViewAdapter)(nil)
+)
+
 // weightsPath maps a registry name to its weight file ("yolite-masked" →
 // "yolite_masked.gob", matching the files cmd/darpa-train writes).
 func weightsPath(dir, name string) string {

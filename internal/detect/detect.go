@@ -41,6 +41,12 @@ type named struct {
 
 func (n named) Name() string { return n.name }
 
+// PredictBatch keeps the batch seam intact through the rename: the wrapped
+// Predictor's native batch path is used when it has one.
+func (n named) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	return PredictBatch(n.Predictor, x, confThresh)
+}
+
 // Named attaches a name to a Predictor, turning it into a Detector.
 func Named(name string, p Predictor) Detector {
 	if d, ok := p.(Detector); ok && d.Name() == name {

@@ -38,6 +38,11 @@ func (f floorDetector) PredictTensor(x *tensor.Tensor, n int, confThresh float64
 	return f.inner.PredictTensor(x, n, math.Max(confThresh, f.floor))
 }
 
+// PredictBatch applies the floor once and forwards the whole batch.
+func (f floorDetector) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	return PredictBatch(f.inner, x, math.Max(confThresh, f.floor))
+}
+
 // nmsDetector applies class-aware non-maximum suppression to the inner
 // detector's output, for backends that do not already suppress duplicates.
 type nmsDetector struct {
@@ -54,6 +59,16 @@ func (m nmsDetector) Name() string { return m.inner.Name() }
 
 func (m nmsDetector) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	return metrics.NMS(m.inner.PredictTensor(x, n, confThresh), m.iou)
+}
+
+// PredictBatch suppresses duplicates within each item independently:
+// detections never compete across screens.
+func (m nmsDetector) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	out := PredictBatch(m.inner, x, confThresh)
+	for i := range out {
+		out[i] = metrics.NMS(out[i], m.iou)
+	}
+	return out
 }
 
 // Cache memoises inference results keyed on the screenshot's tensor content,
@@ -153,19 +168,98 @@ func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 	c.mu.Unlock()
 
 	dets := c.inner.PredictTensor(x, n, confThresh)
+	c.store(key, dets)
+	return dets
+}
 
+// store memoises dets under key (copying the slice), evicting the oldest
+// entry at capacity. Re-storing a key another call raced in is a no-op.
+func (c *Cache) store(key uint64, dets []metrics.Detection) {
 	c.mu.Lock()
-	if _, dup := c.entries[key]; !dup {
-		if len(c.order) >= c.capacity {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, oldest)
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	if len(c.order) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = append([]metrics.Detection(nil), dets...)
+	c.order = append(c.order, key)
+}
+
+// PredictBatch answers hit items from the memo and forwards only the
+// compacted miss sub-batch to the inner detector, so an audit batch pays
+// inference only for content the cache has not seen. Duplicate screens
+// within one batch are forwarded once and fanned back out. Hits() counts
+// items answered from the memo; Misses() counts the rest (an in-batch
+// duplicate is a miss, though only its first occurrence reaches the
+// backend).
+func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	if x == nil || len(x.Shape) == 0 {
+		return nil
+	}
+	n := x.Shape[0]
+	keys := make([]uint64, n)
+	for i := range keys {
+		key, ok := cacheKey(x, i, confThresh)
+		if !ok {
+			// Malformed batch: bypass the cache entirely.
+			return PredictBatch(c.inner, x, confThresh)
 		}
-		c.entries[key] = append([]metrics.Detection(nil), dets...)
-		c.order = append(c.order, key)
+		keys[i] = key
+	}
+	out := make([][]metrics.Detection, n)
+	answered := make([]bool, n)
+	var missItems []int        // first item index per unique missing key
+	missAt := map[uint64]int{} // key -> index into the miss sub-batch
+	c.mu.Lock()
+	for i := 0; i < n; i++ {
+		if dets, hit := c.entries[keys[i]]; hit {
+			c.hits++
+			out[i] = append([]metrics.Detection(nil), dets...)
+			answered[i] = true
+			continue
+		}
+		c.misses++
+		if _, dup := missAt[keys[i]]; !dup {
+			missAt[keys[i]] = len(missItems)
+			missItems = append(missItems, i)
+		}
 	}
 	c.mu.Unlock()
-	return dets
+	if len(missItems) == 0 {
+		return out
+	}
+	sub := x
+	if len(missItems) != n {
+		per := 1
+		for _, d := range x.Shape[1:] {
+			per *= d
+		}
+		sub = tensor.New(append([]int{len(missItems)}, x.Shape[1:]...)...)
+		for j, i := range missItems {
+			copy(sub.Data[j*per:(j+1)*per], x.Data[i*per:(i+1)*per])
+		}
+	}
+	res := PredictBatch(c.inner, sub, confThresh)
+	for j, i := range missItems {
+		c.store(keys[i], res[j])
+	}
+	for i := 0; i < n; i++ {
+		if answered[i] {
+			continue
+		}
+		j := missAt[keys[i]]
+		if missItems[j] == i {
+			out[i] = res[j]
+		} else {
+			// In-batch duplicate: hand out a copy, like a cache hit would.
+			out[i] = append([]metrics.Detection(nil), res[j]...)
+		}
+	}
+	return out
 }
 
 // Timed reports every inference's wall-clock latency into a
@@ -177,7 +271,9 @@ type Timed struct {
 }
 
 // WithTiming wraps d so each PredictTensor call is timed into rec under
-// stage (empty means "infer").
+// stage (empty means "infer"). A nil rec disables recording without
+// disabling the wrapper, so callers can thread an optional recorder through
+// unconditionally.
 func WithTiming(d Detector, rec *perfmodel.Timings, stage string) *Timed {
 	if stage == "" {
 		stage = "infer"
@@ -194,4 +290,14 @@ func (t *Timed) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 	dets := t.inner.PredictTensor(x, n, confThresh)
 	t.rec.Observe(t.stage, time.Since(start))
 	return dets
+}
+
+// PredictBatch delegates the whole batch, recording its wall-clock latency
+// together with the item count, so the stage's Count tracks screens
+// processed and Mean() stays an amortised per-item figure.
+func (t *Timed) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	start := time.Now()
+	out := PredictBatch(t.inner, x, confThresh)
+	t.rec.ObserveBatch(t.stage, time.Since(start), len(out))
+	return out
 }

@@ -30,7 +30,35 @@ func (a *ViewAdapter) Name() string { return "frauddroid" }
 // Flagged UPO rectangles become detections with confidence 1 (the heuristic
 // is binary); when x carries a model-input shape the boxes are scaled from
 // screen to input coordinates, otherwise they are returned as-is.
-func (a *ViewAdapter) PredictTensor(x *tensor.Tensor, _ int, _ float64) []metrics.Detection {
+//
+// Batch contract: the adapter observes exactly one live screen, which by
+// convention occupies batch slot 0 — the slot PredictCanvas and the service
+// pipeline use. Any other index belongs to a dataset item whose pixels the
+// adapter cannot relate to the view hierarchy, so it reports no detections
+// there. (It used to return the live screen's boxes for every index, which
+// poisoned every item of a batched evaluation with the same detections.)
+func (a *ViewAdapter) PredictTensor(x *tensor.Tensor, n int, _ float64) []metrics.Detection {
+	if n > 0 {
+		return nil
+	}
+	return a.detectLive(x)
+}
+
+// PredictBatch implements the detect.BatchPredictor seam: the heuristics run
+// once — the view hierarchy does not change across a stacked batch — and
+// only item 0, the live screen's slot, carries the result.
+func (a *ViewAdapter) PredictBatch(x *tensor.Tensor, _ float64) [][]metrics.Detection {
+	if x == nil || len(x.Shape) == 0 {
+		return nil
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	out[0] = a.detectLive(x)
+	return out
+}
+
+// detectLive runs the heuristics on the current screen and scales the
+// flagged rectangles into x's model-input coordinate system.
+func (a *ViewAdapter) detectLive(x *tensor.Tensor) []metrics.Detection {
 	if a.Screen == nil {
 		return nil
 	}

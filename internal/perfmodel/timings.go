@@ -43,8 +43,20 @@ type Timings struct {
 	stages map[string]*LatencyStats
 }
 
-// Observe records one measurement for the named stage.
+// Observe records one measurement for the named stage. A nil recorder is a
+// no-op, so components with an optional *Timings hook need not guard it.
 func (t *Timings) Observe(stage string, d time.Duration) {
+	t.ObserveBatch(stage, d, 1)
+}
+
+// ObserveBatch records a batch of items measured under one wall-clock
+// interval: Count advances by items — so Mean() reports the amortised
+// per-item latency — while Max treats the batch as a single observation.
+// A nil recorder or a non-positive item count is a no-op.
+func (t *Timings) ObserveBatch(stage string, d time.Duration, items int) {
+	if t == nil || items <= 0 {
+		return
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.stages == nil {
@@ -55,11 +67,19 @@ func (t *Timings) Observe(stage string, d time.Duration) {
 		s = &LatencyStats{}
 		t.stages[stage] = s
 	}
-	s.Observe(d)
+	s.Count += items
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
 }
 
-// Stage returns a snapshot of one stage's counters.
+// Stage returns a snapshot of one stage's counters. A nil recorder reports
+// zero counters.
 func (t *Timings) Stage(name string) LatencyStats {
+	if t == nil {
+		return LatencyStats{}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if s, ok := t.stages[name]; ok {
@@ -68,8 +88,11 @@ func (t *Timings) Stage(name string) LatencyStats {
 	return LatencyStats{}
 }
 
-// Stages returns the observed stage names, sorted.
+// Stages returns the observed stage names, sorted. A nil recorder has none.
 func (t *Timings) Stages() []string {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]string, 0, len(t.stages))
@@ -82,8 +105,12 @@ func (t *Timings) Stages() []string {
 
 // String renders a one-line-per-stage summary for logs.
 func (t *Timings) String() string {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return "no timings recorded"
+	}
 	var b strings.Builder
-	for i, name := range t.Stages() {
+	for i, name := range stages {
 		s := t.Stage(name)
 		if i > 0 {
 			b.WriteString("; ")

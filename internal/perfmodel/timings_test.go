@@ -21,6 +21,39 @@ func TestLatencyStatsObserve(t *testing.T) {
 	}
 }
 
+// TestTimingsObserveBatch: one whole-batch observation counts every item, so
+// Mean() stays an amortised per-item figure while Max keeps the whole-batch
+// wall-clock duration.
+func TestTimingsObserveBatch(t *testing.T) {
+	rec := &Timings{}
+	rec.ObserveBatch("infer", 80*time.Millisecond, 8)
+	s := rec.Stage("infer")
+	if s.Count != 8 || s.Max != 80*time.Millisecond {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean() != 10*time.Millisecond {
+		t.Fatalf("amortised mean = %v, want 10ms", s.Mean())
+	}
+	rec.ObserveBatch("infer", time.Millisecond, 0)
+	if rec.Stage("infer").Count != 8 {
+		t.Fatal("zero-item batch should not be recorded")
+	}
+}
+
+// TestTimingsNilReceiver: detector middleware threads an optional recorder
+// through unconditionally, so a nil *Timings must absorb observations.
+func TestTimingsNilReceiver(t *testing.T) {
+	var rec *Timings
+	rec.Observe("infer", time.Millisecond)
+	rec.ObserveBatch("infer", time.Millisecond, 4)
+	if got := rec.Stage("infer").Count; got != 0 {
+		t.Fatalf("nil recorder reported Count=%d", got)
+	}
+	if rec.String() == "" {
+		t.Fatal("nil recorder should still print a placeholder summary")
+	}
+}
+
 func TestTimingsStages(t *testing.T) {
 	rec := &Timings{}
 	rec.Observe("infer", 5*time.Millisecond)

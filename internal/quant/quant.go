@@ -85,6 +85,9 @@ func (q *qconv) quantiseWeights() {
 
 // forward runs the quantised convolution: activations are quantised to int8
 // with the calibrated scale, multiplied in int8 and accumulated in int32.
+// Like tensor.Conv2D.Forward, the disjoint (batch item, output channel)
+// planes are spread over the shared worker pool when the work justifies it,
+// so batched device inference scales with GOMAXPROCS.
 func (q *qconv) forward(x *tensor.Tensor) *tensor.Tensor {
 	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if C != q.inC {
@@ -98,46 +101,62 @@ func (q *qconv) forward(x *tensor.Tensor) *tensor.Tensor {
 		qx[i] = int8(clamp(math.Round(float64(v/q.inScale)), -127, 127))
 	}
 	y := tensor.New(N, q.outC, oh, ow)
-	for n := 0; n < N; n++ {
-		for oc := 0; oc < q.outC; oc++ {
-			deq := q.wScale[oc] * q.inScale
-			bias := q.b[oc]
-			outBase := ((n*q.outC + oc) * oh) * ow
-			for oy := 0; oy < oh; oy++ {
-				ihBase := oy*q.stride - q.pad
-				outRow := outBase + oy*ow
-				for ox := 0; ox < ow; ox++ {
-					iwBase := ox*q.stride - q.pad
-					var acc int32
-					for ic := 0; ic < q.inC; ic++ {
-						wBase := ((oc*q.inC + ic) * q.k) * q.k
-						inBase := ((n*C + ic) * H) * W
-						for kh := 0; kh < q.k; kh++ {
-							ih := ihBase + kh
-							if ih < 0 || ih >= H {
-								continue
-							}
-							inRow := inBase + ih*W
-							wRow := wBase + kh*q.k
-							for kw := 0; kw < q.k; kw++ {
-								iw := iwBase + kw
-								if iw < 0 || iw >= W {
-									continue
-								}
-								acc += int32(q.qw[wRow+kw]) * int32(qx[inRow+iw])
-							}
-						}
-					}
-					v := float32(acc)*deq + bias
-					if q.relu && v < 0 {
-						v *= 0.1
-					}
-					y.Data[outRow+ox] = v
-				}
-			}
+	tasks := N * q.outC
+	run := func(t int) { q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC) }
+	if tasks*oh*ow*q.inC*q.k*q.k >= minParallelWork {
+		tensor.ParallelFor(tasks, run)
+	} else {
+		for t := 0; t < tasks; t++ {
+			run(t)
 		}
 	}
 	return y
+}
+
+// minParallelWork mirrors the tensor package's inline-vs-pool cutoff for the
+// int8 path: head convolutions over coarse grids stay on the caller.
+const minParallelWork = 1 << 15
+
+// forwardPlane fills output plane (n, oc) from the quantised activations.
+// Planes write disjoint slices of y, so they are safe to run concurrently.
+func (q *qconv) forwardPlane(qx []int8, inShape []int, y *tensor.Tensor, n, oc int) {
+	C, H, W := inShape[1], inShape[2], inShape[3]
+	oh, ow := y.Shape[2], y.Shape[3]
+	deq := q.wScale[oc] * q.inScale
+	bias := q.b[oc]
+	outBase := ((n*q.outC + oc) * oh) * ow
+	for oy := 0; oy < oh; oy++ {
+		ihBase := oy*q.stride - q.pad
+		outRow := outBase + oy*ow
+		for ox := 0; ox < ow; ox++ {
+			iwBase := ox*q.stride - q.pad
+			var acc int32
+			for ic := 0; ic < q.inC; ic++ {
+				wBase := ((oc*q.inC + ic) * q.k) * q.k
+				inBase := ((n*C + ic) * H) * W
+				for kh := 0; kh < q.k; kh++ {
+					ih := ihBase + kh
+					if ih < 0 || ih >= H {
+						continue
+					}
+					inRow := inBase + ih*W
+					wRow := wBase + kh*q.k
+					for kw := 0; kw < q.k; kw++ {
+						iw := iwBase + kw
+						if iw < 0 || iw >= W {
+							continue
+						}
+						acc += int32(q.qw[wRow+kw]) * int32(qx[inRow+iw])
+					}
+				}
+			}
+			v := float32(acc)*deq + bias
+			if q.relu && v < 0 {
+				v *= 0.1
+			}
+			y.Data[outRow+ox] = v
+		}
+	}
 }
 
 // Model is the ported, int8 detector — the artefact DARPA embeds in the
@@ -147,6 +166,12 @@ type Model struct {
 	deep    []*qconv // B4, B5
 	upoHead *qconv
 	agoHead *qconv
+
+	// DisableRefine turns off the edge-snapping post-processor, mirroring
+	// yolite.Model.DisableRefine so refine-ablation benchmarks compare the
+	// float and int8 backends like-for-like. Port seeds it from the source
+	// model.
+	DisableRefine bool
 }
 
 // extractConvBN pulls the conv and BN out of an nn.ConvBNAct block.
@@ -195,10 +220,11 @@ func newQConvFromHead(conv *tensor.Conv2D) *qconv {
 // images suffices; the paper's ncnn flow does the same).
 func Port(m *yolite.Model, calib []*dataset.Sample) *Model {
 	qm := &Model{
-		blocks:  []*qconv{newQConvFromBlock(m.B1), newQConvFromBlock(m.B2), newQConvFromBlock(m.B3), newQConvFromBlock(m.B3b)},
-		deep:    []*qconv{newQConvFromBlock(m.B4), newQConvFromBlock(m.B5)},
-		upoHead: newQConvFromHead(m.UPOHead),
-		agoHead: newQConvFromHead(m.AGOHead),
+		blocks:        []*qconv{newQConvFromBlock(m.B1), newQConvFromBlock(m.B2), newQConvFromBlock(m.B3), newQConvFromBlock(m.B3b)},
+		deep:          []*qconv{newQConvFromBlock(m.B4), newQConvFromBlock(m.B5)},
+		upoHead:       newQConvFromHead(m.UPOHead),
+		agoHead:       newQConvFromHead(m.AGOHead),
+		DisableRefine: m.DisableRefine,
 	}
 	qm.calibrate(m, calib)
 	return qm
@@ -264,12 +290,34 @@ func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 	return upo, ago
 }
 
-// PredictTensor implements yolite.Predictor with int8 inference.
+// PredictTensor implements yolite.Predictor with int8 inference. Like the
+// float model, the forward pass covers the whole tensor while only item n is
+// decoded; batch workloads should use PredictBatch instead of a per-item
+// loop.
 func (qm *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	upo, ago := qm.Forward(x)
+	return qm.decodeItem(x, upo, ago, n, confThresh)
+}
+
+// PredictBatch runs one int8 forward over the whole [N, 3, H, W] batch and
+// decodes every item, identical to a per-item PredictTensor loop at 1/N the
+// forward cost.
+func (qm *Model) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	upo, ago := qm.Forward(x)
+	out := make([][]metrics.Detection, x.Shape[0])
+	for n := range out {
+		out[n] = qm.decodeItem(x, upo, ago, n, confThresh)
+	}
+	return out
+}
+
+// decodeItem turns the raw head maps for batch item n into final detections.
+func (qm *Model) decodeItem(x, upo, ago *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	dets := yolite.DecodeHead(upo, n, yolite.UPOHeadSpec, confThresh)
 	dets = append(dets, yolite.DecodeHead(ago, n, yolite.AGOHeadSpec, confThresh)...)
-	dets = yolite.RefineDetections(dets, yolite.LumaPlane(x, n), yolite.InputW, yolite.InputH)
+	if !qm.DisableRefine {
+		dets = yolite.RefineDetections(dets, yolite.LumaPlane(x, n), yolite.InputW, yolite.InputH)
+	}
 	return metrics.NMS(dets, 0.2)
 }
 

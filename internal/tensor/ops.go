@@ -45,6 +45,9 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 }
 
 // Forward computes the convolution. The input must be [N, InC, H, W].
+// Output planes are independent, so the (batch item, output channel) pairs
+// run on the shared worker pool when the flop count justifies it — this is
+// what lets batched inference scale with GOMAXPROCS.
 func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if C != c.InC {
@@ -55,41 +58,55 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		c.lastIn = x
 	}
-	for n := 0; n < N; n++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.B.Data[oc]
-			outBase := ((n*c.OutC + oc) * OH) * OW
-			for oh := 0; oh < OH; oh++ {
-				ihBase := oh*c.Stride - c.Pad
-				outRow := outBase + oh*OW
-				for ow := 0; ow < OW; ow++ {
-					iwBase := ow*c.Stride - c.Pad
-					sum := bias
-					for ic := 0; ic < c.InC; ic++ {
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						inBase := ((n*C + ic) * H) * W
-						for kh := 0; kh < c.K; kh++ {
-							ih := ihBase + kh
-							if ih < 0 || ih >= H {
-								continue
-							}
-							inRow := inBase + ih*W
-							wRow := wBase + kh*c.K
-							for kw := 0; kw < c.K; kw++ {
-								iw := iwBase + kw
-								if iw < 0 || iw >= W {
-									continue
-								}
-								sum += c.W.Data[wRow+kw] * x.Data[inRow+iw]
-							}
-						}
-					}
-					y.Data[outRow+ow] = sum
-				}
-			}
+	tasks := N * c.OutC
+	run := func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) }
+	if tasks*OH*OW*c.InC*c.K*c.K >= minParallelWork {
+		ParallelFor(tasks, run)
+	} else {
+		for t := 0; t < tasks; t++ {
+			run(t)
 		}
 	}
 	return y
+}
+
+// forwardPlane fills output plane (n, oc). Each plane touches a disjoint
+// slice of y, so planes are safe to compute concurrently; the arithmetic
+// order within a plane is fixed, keeping results bit-identical to the serial
+// loop.
+func (c *Conv2D) forwardPlane(x, y *Tensor, n, oc int) {
+	C, H, W := x.Shape[1], x.Shape[2], x.Shape[3]
+	OH, OW := y.Shape[2], y.Shape[3]
+	bias := c.B.Data[oc]
+	outBase := ((n*c.OutC + oc) * OH) * OW
+	for oh := 0; oh < OH; oh++ {
+		ihBase := oh*c.Stride - c.Pad
+		outRow := outBase + oh*OW
+		for ow := 0; ow < OW; ow++ {
+			iwBase := ow*c.Stride - c.Pad
+			sum := bias
+			for ic := 0; ic < c.InC; ic++ {
+				wBase := ((oc*c.InC + ic) * c.K) * c.K
+				inBase := ((n*C + ic) * H) * W
+				for kh := 0; kh < c.K; kh++ {
+					ih := ihBase + kh
+					if ih < 0 || ih >= H {
+						continue
+					}
+					inRow := inBase + ih*W
+					wRow := wBase + kh*c.K
+					for kw := 0; kw < c.K; kw++ {
+						iw := iwBase + kw
+						if iw < 0 || iw >= W {
+							continue
+						}
+						sum += c.W.Data[wRow+kw] * x.Data[inRow+iw]
+					}
+				}
+			}
+			y.Data[outRow+ow] = sum
+		}
+	}
 }
 
 // Backward computes input gradients and accumulates weight/bias gradients.

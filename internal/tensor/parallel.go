@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelWork is the flop-count floor below which convolution forwards
+// stay on the calling goroutine: a 1x1 detection head over a coarse grid
+// finishes faster inline than the worker pool can hand it out.
+const minParallelWork = 1 << 15
+
+// ParallelFor runs f(i) for every i in [0, n) on a bounded worker pool sized
+// by GOMAXPROCS, returning when all tasks finish. Tasks are claimed from an
+// atomic counter, so uneven task costs balance across workers. Tasks must be
+// independent: f sees each index exactly once but in no defined order and
+// possibly concurrently. With a single processor (or a single task) the loop
+// runs inline on the caller, so serial configurations pay no overhead.
+func ParallelFor(n int, f func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

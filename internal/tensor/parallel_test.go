@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		seen := make([]atomic.Int32, n)
+		ParallelFor(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestConvForwardParallelMatchesSerial pins the parallel forward's contract:
+// splitting work per (batch item, output channel) plane must be bit-identical
+// to the serial loop, because each plane keeps its original arithmetic order.
+func TestConvForwardParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv2D(rng, 8, 8, 3, 1, 1)
+	x := randInput(rng, 2, 8, 32, 32) // 2*8*32*32*8*9 flops, well above the gate
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := conv.Forward(x, false)
+	runtime.GOMAXPROCS(4)
+	parallel := conv.Forward(x, false)
+	runtime.GOMAXPROCS(prev)
+
+	if len(serial.Data) != len(parallel.Data) {
+		t.Fatalf("shape mismatch: %v vs %v", serial.Shape, parallel.Shape)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("output diverges at %d: serial %v, parallel %v", i, serial.Data[i], parallel.Data[i])
+		}
+	}
+}

@@ -165,6 +165,22 @@ func BatchToTensor(samples []*dataset.Sample) *tensor.Tensor {
 	return x
 }
 
+// CanvasesToTensor stacks screenshot canvases (any resolutions) into one
+// [N, 3, InputH, InputW] batch tensor, downscaling each like CanvasToTensor.
+// It returns nil for an empty slice.
+func CanvasesToTensor(shots []*render.Canvas) *tensor.Tensor {
+	if len(shots) == 0 {
+		return nil
+	}
+	x := tensor.New(len(shots), 3, InputH, InputW)
+	per := 3 * InputH * InputW
+	for i, c := range shots {
+		one := CanvasToTensor(c)
+		copy(x.Data[i*per:(i+1)*per], one.Data)
+	}
+	return x
+}
+
 // DecodeHead converts one head's raw output map for batch item n into
 // detections above confThresh. It is exported so alternative inference
 // backends (the int8 ncnn-style port in internal/quant) can share it.
@@ -206,8 +222,31 @@ func DecodeHead(out *tensor.Tensor, n int, spec HeadSpec, confThresh float64) []
 
 // PredictTensor runs inference on a prepared input tensor and returns
 // NMS-filtered detections for batch item n, in input-resolution coordinates.
+// The forward pass covers the whole tensor even though only item n is
+// decoded, so looping this over an N-item batch costs N full-batch forwards;
+// batch workloads should call PredictBatch (or detect.PredictBatch), which
+// forwards once and decodes every item.
 func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	upo, ago := m.Forward(x, false)
+	return m.decodeItem(x, upo, ago, n, confThresh)
+}
+
+// PredictBatch runs one forward over the whole [N, 3, H, W] batch and
+// decodes every item — the linear-cost path that store-audit style
+// workloads use to amortise the backbone across screens. Results are
+// identical to calling PredictTensor once per item.
+func (m *Model) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	upo, ago := m.Forward(x, false)
+	out := make([][]metrics.Detection, x.Shape[0])
+	for n := range out {
+		out[n] = m.decodeItem(x, upo, ago, n, confThresh)
+	}
+	return out
+}
+
+// decodeItem turns the raw head maps for batch item n into final
+// detections: decode both heads, optionally edge-snap, suppress duplicates.
+func (m *Model) decodeItem(x, upo, ago *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	dets := DecodeHead(upo, n, UPOHeadSpec, confThresh)
 	dets = append(dets, DecodeHead(ago, n, AGOHeadSpec, confThresh)...)
 	if !m.DisableRefine {
