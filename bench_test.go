@@ -8,7 +8,9 @@ package main
 
 import (
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/auigen"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/quant"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/yolite"
 )
@@ -306,6 +309,129 @@ func BenchmarkPredictBatchInt8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PredictBatch(x, yolite.DefaultConfThresh)
+	}
+}
+
+// --- Serving layer (internal/serve) and activation pooling ---
+
+// benchScreens builds n distinct single-screen tensors from the test split.
+func benchScreens(b *testing.B, n int) []*tensor.Tensor {
+	b.Helper()
+	test := sharedEnv(b).Split().Test
+	if len(test) < n {
+		b.Skipf("quick test split has %d screens, need %d", len(test), n)
+	}
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = yolite.CanvasToTensor(test[i].Input)
+	}
+	return out
+}
+
+// The serving benchmarks model the fleet scenario: serveClients simulated
+// devices multiplexed onto few cores, each device repeatedly resubmitting
+// its handful of current screens the way a monkey crawl revisits the same
+// rendered states (the darpa-sim fleet run measures ~40% identical
+// resubmissions). Both benchmarks drive the identical workload; they differ
+// only in what serves it.
+const (
+	serveClients     = 8
+	screensPerDevice = 3
+)
+
+// BenchmarkServeConcurrent serves the fleet workload through the full
+// serving stack exactly as cmd/darpa-sim -fleet deploys it: micro-batching
+// Batcher over a sharded result cache over a pooled backend. Concurrent
+// misses coalesce into batched forwards, revisited screens dedupe in the
+// cache, and steady-state forwards allocate nothing. ns/op is the amortised
+// per-screen cost under load; compare against
+// BenchmarkServeUnbatchedBaseline, the same offered load with every request
+// running its own independent unbatched forward.
+func BenchmarkServeConcurrent(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs GOMAXPROCS > 1 for concurrent batching")
+	}
+	m := sharedEnv(b).Float()
+	m.Pool = tensor.NewPool()
+	defer func() { m.Pool = nil }()
+	screens := benchScreens(b, serveClients*screensPerDevice)
+	cached := detect.WithResultCache(m, 64)
+	batcher := serve.NewBatcher(cached, serve.Options{MaxBatch: serveClients})
+	defer batcher.Close()
+	var clientID atomic.Int64
+	b.SetParallelism((serveClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		device := int(clientID.Add(1)-1) % serveClients
+		mine := screens[device*screensPerDevice : (device+1)*screensPerDevice]
+		for i := 0; pb.Next(); i++ {
+			batcher.PredictTensor(mine[i%len(mine)], 0, yolite.DefaultConfThresh)
+		}
+	})
+	b.StopTimer()
+	st := batcher.Stats()
+	if st.Batches > 0 {
+		b.Logf("served %d screens in %d forwards (max batch %d, cache hit rate %.0f%%)",
+			st.Items, st.Batches, st.MaxBatchSize, 100*cached.HitRate())
+	}
+}
+
+// BenchmarkServeUnbatchedBaseline is the same fleet workload served the way
+// the pre-serving-layer code did: serveClients independent PredictTensor
+// loops, every request paying a full single-item forward with freshly
+// allocated activations — no scheduler, no shared cache, no pool.
+func BenchmarkServeUnbatchedBaseline(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs GOMAXPROCS > 1 for a comparable concurrent load")
+	}
+	m := sharedEnv(b).Float()
+	screens := benchScreens(b, serveClients*screensPerDevice)
+	var clientID atomic.Int64
+	b.SetParallelism((serveClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		device := int(clientID.Add(1)-1) % serveClients
+		mine := screens[device*screensPerDevice : (device+1)*screensPerDevice]
+		for i := 0; pb.Next(); i++ {
+			m.PredictTensor(mine[i%len(mine)], 0, yolite.DefaultConfThresh)
+		}
+	})
+}
+
+// BenchmarkPredictPooled measures the steady-state allocation profile of
+// the inference forward (backbone + both heads) drawing every activation
+// from a tensor.Pool, with the head maps returned after use the way
+// Predict* does. Compare allocs/op with BenchmarkPredictUnpooled — the
+// pool's point is not speed but keeping a resident service's GC pressure
+// flat. (The decode/refine stage downstream of the forward still allocates
+// its detection slices and search scratch; that is measured by the
+// Predict-level benchmarks above.)
+func BenchmarkPredictPooled(b *testing.B) {
+	m := sharedEnv(b).Float()
+	m.Pool = tensor.NewPool()
+	defer func() { m.Pool = nil }()
+	screens := benchScreens(b, 1)
+	upo, ago := m.Forward(screens[0], false) // warm the pool
+	m.Pool.Put(upo)
+	m.Pool.Put(ago)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upo, ago := m.Forward(screens[0], false)
+		m.Pool.Put(upo)
+		m.Pool.Put(ago)
+	}
+}
+
+// BenchmarkPredictUnpooled is the allocation baseline: the same forward
+// with every intermediate tensor allocated fresh.
+func BenchmarkPredictUnpooled(b *testing.B) {
+	m := sharedEnv(b).Float()
+	screens := benchScreens(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(screens[0], false)
 	}
 }
 

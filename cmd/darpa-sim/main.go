@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite]
+//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite] [-fleet N]
+//
+// With -fleet N > 1 the single-handset timeline is replaced by N simulated
+// devices running concurrently, all funnelling their inference through one
+// shared serving stack (micro-batching scheduler over a sharded result cache
+// over a pooled backend) — the paper's one-model-per-device deployment
+// scaled to a fleet the way an audit farm or device lab would run it.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/a11y"
@@ -24,8 +31,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/perfmodel"
+	"repro/internal/quant"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/tensor"
 	"repro/internal/uikit"
+	"repro/internal/yolite"
 )
 
 func main() {
@@ -36,6 +48,7 @@ func main() {
 	obfuscate := flag.Bool("obfuscate", false, "app obfuscates its resource ids")
 	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
 	detector := flag.String("detector", "yolite", "registry backend to run the service with")
+	fleet := flag.Int("fleet", 1, "simulated devices sharing one batched detector (1 = classic single-handset run)")
 	flag.Parse()
 
 	clock := sim.NewClock(42)
@@ -54,6 +67,10 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *fleet > 1 {
+		runFleet(model, *fleet, *minutes, *bypass, *obfuscate)
+		return
 	}
 	a := app.Launch(clock, mgr, app.Config{
 		Package:         "com.example.shop",
@@ -118,4 +135,77 @@ func main() {
 		}
 	}
 	fmt.Printf("AUI popups shown by the app: %d (%d dismissed by click)\n", len(shown), byClick)
+}
+
+// runFleet drives N devices concurrently through one shared serving stack.
+// Each device owns its clock, screen, app, monkey and DARPA service — only
+// the detector is shared, which is safe because inference is read-only and
+// the batching, caching and pooling layers are all concurrency-safe.
+func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate bool) {
+	// Tensor backends get an activation pool: with many devices in flight
+	// the steady-state forward otherwise allocates every intermediate fresh.
+	switch m := model.(type) {
+	case *yolite.Model:
+		m.Pool = tensor.NewPool()
+	case *quant.Model:
+		m.Pool = tensor.NewPool()
+	}
+	rec := &perfmodel.Timings{}
+	cached := detect.WithResultCache(model, 64*devices)
+	shared := serve.NewBatcher(cached, serve.Options{
+		MaxBatch: devices,
+		Timings:  rec,
+	})
+
+	type deviceResult struct {
+		stats  core.Stats
+		popups int
+	}
+	results := make([]deviceResult, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			clock := sim.NewClock(int64(42 + d))
+			screen := uikit.NewScreen(384, 640)
+			mgr := a11y.NewManager(clock, screen)
+			a := app.Launch(clock, mgr, app.Config{
+				Package:         fmt.Sprintf("com.fleet.app%02d", d),
+				MeanAUIInterval: 10 * time.Second,
+				Obfuscate:       obfuscate,
+				GenSeed:         int64(100 + d),
+			})
+			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
+			svc := core.Start(clock, mgr, shared, core.Config{AutoBypass: bypass})
+			clock.RunUntil(time.Duration(minutes) * time.Minute)
+			monkey.Stop()
+			svc.Stop()
+			a.Stop()
+			results[d] = deviceResult{stats: svc.Stats(), popups: len(a.History())}
+		}(d)
+	}
+	wg.Wait()
+	shared.Close()
+	cached.PublishStats(rec)
+
+	fmt.Printf("\n--- fleet: %d devices x %d simulated minute(s) ---\n", devices, minutes)
+	fmt.Printf("%-8s %8s %10s %8s %8s\n", "device", "events", "analyses", "AUIs", "popups")
+	var agg core.Stats
+	for d, r := range results {
+		fmt.Printf("%-8d %8d %10d %8d %8d\n", d, r.stats.EventsSeen, r.stats.Analyses, r.stats.AUIFlagged, r.popups)
+		agg.EventsSeen += r.stats.EventsSeen
+		agg.Debounced += r.stats.Debounced
+		agg.Analyses += r.stats.Analyses
+		agg.AUIFlagged += r.stats.AUIFlagged
+		agg.DecorationsDrawn += r.stats.DecorationsDrawn
+	}
+	st := shared.Stats()
+	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses, %d AUIs flagged, %d decorations\n",
+		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.AUIFlagged, agg.DecorationsDrawn)
+	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d)\n",
+		st.Batches, st.Items, st.MaxBatchSize, st.MaxQueueDepth)
+	fmt.Printf("shared cache: %.0f%% hit rate (%d hits / %d misses, %d shards)\n",
+		100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
+	fmt.Printf("serving:      %s\n", rec.String())
 }

@@ -111,7 +111,11 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-18s %8d %12d %14d\n", r.pkg, r.screens, r.auiScreens, r.popups)
 	}
-	fmt.Printf("\naudited %d screens: %s (cache: %d hits / %d misses)\n",
-		total, rec.String(), cached.Hits(), cached.Misses())
+	// Fold the cache tallies into the same recorder the latency stages feed,
+	// so one summary line carries both.
+	cached.PublishStats(rec)
+	fmt.Printf("\naudited %d screens: %s\n", total, rec.String())
+	fmt.Printf("cache hit rate: %.0f%% (%d hits / %d misses, %d shards)\n",
+		100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
 	fmt.Println("apps at the top of the list warrant manual review before listing.")
 }

@@ -73,6 +73,46 @@ func TestPredictBatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestPooledPredictEquivalence: attaching an activation pool must not change
+// a single bit of either backend's output — pooled buffers are dirty on Get,
+// so any layer that fails to overwrite its output fully shows up here.
+func TestPooledPredictEquivalence(t *testing.T) {
+	m := yolite.NewModel(3)
+	qm := quant.Port(m, nil)
+	pm := yolite.NewModel(3)
+	pm.Pool = tensor.NewPool()
+	pqm := quant.Port(pm, nil)
+	x := randomBatch(4, 42)
+	for _, tc := range []struct {
+		name          string
+		plain, pooled Predictor
+	}{
+		{"yolite", m, pm},
+		{"yolite-int8", qm, pqm},
+	} {
+		total := 0
+		for round := 0; round < 2; round++ { // round 2 runs on recycled buffers
+			for n := 0; n < 4; n++ {
+				want := tc.plain.PredictTensor(x, n, 0.3)
+				got := tc.pooled.PredictTensor(x, n, 0.3)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s item %d round %d: pooled %v != plain %v", tc.name, n, round, got, want)
+				}
+				total += len(want)
+			}
+			if !reflect.DeepEqual(PredictBatch(tc.pooled, x, 0.3), PredictBatch(tc.plain, x, 0.3)) {
+				t.Errorf("%s round %d: pooled batch output diverged", tc.name, round)
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s: pooled equivalence vacuous, no detections produced", tc.name)
+		}
+	}
+	if gets, _ := pm.Pool.Stats(); gets == 0 {
+		t.Fatal("pooled model never drew from its pool")
+	}
+}
+
 // TestQuantHonoursDisableRefine checks the ablation flag ported from the
 // float model actually changes the int8 output, and that Port seeds it.
 func TestQuantHonoursDisableRefine(t *testing.T) {

@@ -1,0 +1,340 @@
+package detect
+
+import (
+	"hash/maphash"
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Cache memoises inference results keyed on the screenshot's tensor content,
+// so an unchanged screen (the common case: debounce fires on cosmetic churn
+// that dies outside the model's downsampled view) skips re-inference
+// entirely. Eviction is FIFO at the configured capacity.
+//
+// Internally the key space is partitioned across shards, each with its own
+// lock, map and FIFO ring, so concurrent auditors (the serving layer fans
+// many devices into one shared cache) do not serialise on a single mutex.
+// Small caches stay single-sharded — one shard preserves exact global FIFO
+// order, which only matters when capacity is tiny enough for eviction order
+// to be observable. Safe for concurrent use.
+type Cache struct {
+	inner  Detector
+	mask   uint64
+	shards []cacheShard
+}
+
+// cacheShard is one lock domain: a hash map for lookup plus a fixed-size
+// ring buffer recording insertion order for FIFO eviction. The ring never
+// reallocates (the historical slice-based FIFO leaked its backing array by
+// re-slicing on every eviction). The trailing pad keeps hot shard headers on
+// separate cache lines when the shard array is walked concurrently.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64][]metrics.Detection
+	ring    []uint64 // fixed capacity; oldest key at head
+	head    int
+	count   int
+	hits    int
+	misses  int
+	_       [24]byte
+}
+
+const (
+	// DefaultCacheCapacity bounds the cache when WithResultCache is given a
+	// non-positive capacity.
+	DefaultCacheCapacity = 32
+	// maxCacheShards caps the shard fan-out; past ~16 lock domains the
+	// contention win is gone and the per-shard rings get too small.
+	maxCacheShards = 16
+	// minShardCapacity is the smallest per-shard ring worth splitting into:
+	// below it, sharding trades observable FIFO order for nothing.
+	minShardCapacity = 8
+)
+
+// WithResultCache wraps d with a content-hash result cache holding up to
+// capacity screens. The shard count scales with capacity: caches smaller
+// than 2x minShardCapacity stay single-sharded (exact FIFO), larger ones
+// split into up to maxCacheShards lock domains.
+func WithResultCache(d Detector, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return WithShardedResultCache(d, capacity, capacity/minShardCapacity)
+}
+
+// WithShardedResultCache is WithResultCache with an explicit shard count,
+// for callers that know their concurrency (the serving layer sizes shards to
+// its worker count). The count is rounded down to a power of two and clamped
+// to [1, min(capacity, maxCacheShards)].
+func WithShardedResultCache(d Detector, capacity, shards int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if shards > maxCacheShards {
+		shards = maxCacheShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Round down to a power of two so shard selection is a mask, not a mod.
+	shards = 1 << (bits.Len(uint(shards)) - 1)
+	c := &Cache{inner: d, mask: uint64(shards - 1), shards: make([]cacheShard, shards)}
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		c.shards[i].entries = make(map[uint64][]metrics.Detection, cap)
+		c.shards[i].ring = make([]uint64, cap)
+	}
+	return c
+}
+
+// Name reports the inner backend's name.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// ShardCount reports how many lock domains the cache was split into.
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// Hits returns how many calls were answered from the cache.
+func (c *Cache) Hits() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.hits
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Misses returns how many calls ran the inner detector.
+func (c *Cache) Misses() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.misses
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of cached screens.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Hits(), c.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// PublishStats folds the cache's lifetime hit and miss tallies into rec as
+// the count-only stages "cache-hit" and "cache-miss", putting the hit rate
+// in the same report the latency stages already feed. Call it once at the
+// end of a run; repeated calls re-add the totals. A nil rec is a no-op.
+func (c *Cache) PublishStats(rec *perfmodel.Timings) {
+	rec.AddItems("cache-hit", c.Hits())
+	rec.AddItems("cache-miss", c.Misses())
+}
+
+// cacheSeed is fixed so keys are stable within a process run.
+var cacheSeed = maphash.MakeSeed()
+
+// cacheKey hashes batch item n's pixels plus the threshold. Hashing ~46k
+// floats costs microseconds against the ~10ms+ a conv backbone costs, so a
+// hit is three orders of magnitude cheaper than inference.
+func cacheKey(x *tensor.Tensor, n int, confThresh float64) (uint64, bool) {
+	if x == nil || len(x.Shape) == 0 {
+		return 0, false
+	}
+	per := 1
+	for _, d := range x.Shape[1:] {
+		per *= d
+	}
+	lo, hi := n*per, (n+1)*per
+	if lo < 0 || hi > len(x.Data) {
+		return 0, false
+	}
+	var h maphash.Hash
+	h.SetSeed(cacheSeed)
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	putU64(math.Float64bits(confThresh))
+	for i := lo; i < hi; i += 2 {
+		v := uint64(math.Float32bits(x.Data[i]))
+		if i+1 < hi {
+			v |= uint64(math.Float32bits(x.Data[i+1])) << 32
+		}
+		putU64(v)
+	}
+	return h.Sum64(), true
+}
+
+// shardFor maps a key to its lock domain. maphash output is uniformly
+// mixed, so the low bits select shards evenly.
+func (c *Cache) shardFor(key uint64) *cacheShard {
+	return &c.shards[key&c.mask]
+}
+
+// lookup checks one key, counting the hit or miss on its shard. On a hit it
+// returns a fresh copy of the memoised slice (the pipeline scales detection
+// boxes in place).
+func (c *Cache) lookup(key uint64) ([]metrics.Detection, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dets, hit := s.entries[key]; hit {
+		s.hits++
+		return append([]metrics.Detection(nil), dets...), true
+	}
+	s.misses++
+	return nil, false
+}
+
+// store memoises dets under key (copying the slice), evicting the shard's
+// oldest entry when its ring is full. Re-storing a key another call raced in
+// is a no-op.
+func (c *Cache) store(key uint64, dets []metrics.Detection) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[key]; dup {
+		return
+	}
+	if len(s.ring) == 0 {
+		return
+	}
+	if s.count == len(s.ring) {
+		// Full: the head slot holds the oldest key; overwrite it in place
+		// and advance. No allocation, no retained backing array.
+		delete(s.entries, s.ring[s.head])
+		s.ring[s.head] = key
+		s.head = (s.head + 1) % len(s.ring)
+	} else {
+		s.ring[(s.head+s.count)%len(s.ring)] = key
+		s.count++
+	}
+	s.entries[key] = append([]metrics.Detection(nil), dets...)
+}
+
+// PredictTensor answers from the cache when the screen content is unchanged
+// and delegates (then memoises) otherwise. Returned slices are fresh copies:
+// the pipeline scales detection boxes in place.
+func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	key, ok := cacheKey(x, n, confThresh)
+	if !ok {
+		return c.inner.PredictTensor(x, n, confThresh)
+	}
+	if dets, hit := c.lookup(key); hit {
+		return dets
+	}
+	dets := c.inner.PredictTensor(x, n, confThresh)
+	c.store(key, dets)
+	return dets
+}
+
+// PredictBatch answers hit items from the memo and forwards only the
+// compacted miss sub-batch to the inner detector, so an audit batch pays
+// inference only for content the cache has not seen. Duplicate screens
+// within one batch are forwarded once and fanned back out. Hits() counts
+// items answered from the memo; Misses() counts the rest (an in-batch
+// duplicate is a miss, though only its first occurrence reaches the
+// backend).
+func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	if x == nil || len(x.Shape) == 0 {
+		return nil
+	}
+	n := x.Shape[0]
+	keys := make([]uint64, n)
+	for i := range keys {
+		key, ok := cacheKey(x, i, confThresh)
+		if !ok {
+			// Malformed batch: bypass the cache entirely.
+			return PredictBatch(c.inner, x, confThresh)
+		}
+		keys[i] = key
+	}
+	out := make([][]metrics.Detection, n)
+	answered := make([]bool, n)
+	var missItems []int        // first item index per unique missing key
+	missAt := map[uint64]int{} // key -> index into the miss sub-batch
+	for i := 0; i < n; i++ {
+		if _, dup := missAt[keys[i]]; dup {
+			// In-batch duplicate of a known miss: count it without another
+			// lookup, mirroring the historical single-lock accounting.
+			c.shardFor(keys[i]).addMiss()
+			continue
+		}
+		if dets, hit := c.lookup(keys[i]); hit {
+			out[i] = dets
+			answered[i] = true
+			continue
+		}
+		missAt[keys[i]] = len(missItems)
+		missItems = append(missItems, i)
+	}
+	if len(missItems) == 0 {
+		return out
+	}
+	sub := x
+	if len(missItems) != n {
+		per := 1
+		for _, d := range x.Shape[1:] {
+			per *= d
+		}
+		sub = tensor.New(append([]int{len(missItems)}, x.Shape[1:]...)...)
+		for j, i := range missItems {
+			copy(sub.Data[j*per:(j+1)*per], x.Data[i*per:(i+1)*per])
+		}
+	}
+	res := PredictBatch(c.inner, sub, confThresh)
+	for j, i := range missItems {
+		c.store(keys[i], res[j])
+	}
+	for i := 0; i < n; i++ {
+		if answered[i] {
+			continue
+		}
+		j := missAt[keys[i]]
+		if missItems[j] == i {
+			out[i] = res[j]
+		} else {
+			// In-batch duplicate: hand out a copy, like a cache hit would.
+			out[i] = append([]metrics.Detection(nil), res[j]...)
+		}
+	}
+	return out
+}
+
+func (s *cacheShard) addMiss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}

@@ -1,0 +1,274 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// contentStub derives its detection from the screen's first pixel, so every
+// distinct screen has a distinct correct answer — a cache that crosses wires
+// between entries is caught, not just one that loses them. Concurrency-safe.
+type contentStub struct {
+	calls atomic.Int64
+}
+
+func (s *contentStub) Name() string { return "content-stub" }
+
+func (s *contentStub) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	s.calls.Add(1)
+	per := len(x.Data) / x.Shape[0]
+	return []metrics.Detection{det(float64(x.Data[n*per]), 0, 8, 8, 0.9)}
+}
+
+// screen builds a 1-item tensor whose first pixel carries id, the value the
+// contentStub echoes back.
+func screen(id int) *tensor.Tensor {
+	x := tensor.New(1, 3, yolite.InputH, yolite.InputW)
+	x.Data[0] = float32(id)
+	for i := 1; i < len(x.Data); i++ {
+		x.Data[i] = float32((id*31 + i) % 255)
+	}
+	return x
+}
+
+// TestCacheShardCountAdapts: tiny caches must stay single-sharded (exact
+// FIFO order is observable there), large ones must actually shard.
+func TestCacheShardCountAdapts(t *testing.T) {
+	for _, tc := range []struct {
+		capacity, want int
+	}{
+		{2, 1}, {8, 1}, {15, 1}, {16, 2}, {64, 8}, {256, 16}, {4096, 16},
+	} {
+		c := WithResultCache(&contentStub{}, tc.capacity)
+		if got := c.ShardCount(); got != tc.want {
+			t.Errorf("capacity %d: %d shards, want %d", tc.capacity, got, tc.want)
+		}
+	}
+	// Explicit shard counts: rounded down to a power of two, clamped.
+	if got := WithShardedResultCache(&contentStub{}, 64, 7).ShardCount(); got != 4 {
+		t.Errorf("explicit 7 shards rounded to %d, want 4", got)
+	}
+	if got := WithShardedResultCache(&contentStub{}, 4, 99).ShardCount(); got != 4 {
+		t.Errorf("shards must clamp to capacity: got %d", got)
+	}
+	if got := WithShardedResultCache(&contentStub{}, 64, 0).ShardCount(); got != 1 {
+		t.Errorf("zero shards must clamp to 1: got %d", got)
+	}
+}
+
+// TestCacheRingWrapEviction drives a small cache far past capacity so the
+// FIFO ring wraps many times: Len must stay bounded and the freshest entries
+// must remain resident. The historical slice-based FIFO never released its
+// backing array; the ring's fixed footprint is the fix.
+func TestCacheRingWrapEviction(t *testing.T) {
+	s := &contentStub{}
+	c := WithResultCache(s, 3)
+	for id := 0; id < 20; id++ {
+		c.PredictTensor(screen(id), 0, 0.45)
+		if c.Len() > 3 {
+			t.Fatalf("after insert %d: Len=%d exceeds capacity 3", id, c.Len())
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", c.Len())
+	}
+	// The three newest screens must all hit; the evicted ones must miss.
+	calls := s.calls.Load()
+	for id := 17; id < 20; id++ {
+		got := c.PredictTensor(screen(id), 0, 0.45)
+		if len(got) != 1 || got[0].B.X != float64(id) {
+			t.Fatalf("screen %d: wrong cached result %v", id, got)
+		}
+	}
+	if s.calls.Load() != calls {
+		t.Fatal("recent screens were evicted out of FIFO order")
+	}
+	if c.PredictTensor(screen(0), 0, 0.45); s.calls.Load() != calls+1 {
+		t.Fatal("oldest screen should have been evicted")
+	}
+}
+
+// TestShardedCacheCorrectness fills a multi-shard cache and verifies every
+// resident entry answers with its own result — shard selection and storage
+// must agree.
+func TestShardedCacheCorrectness(t *testing.T) {
+	s := &contentStub{}
+	// Capacity well past the working set: per-shard rings (256/16 = 16) are
+	// deep enough that hash skew cannot overflow one shard and evict.
+	c := WithResultCache(s, 256)
+	if c.ShardCount() < 2 {
+		t.Fatalf("test needs a sharded cache, got %d shards", c.ShardCount())
+	}
+	for id := 0; id < 100; id++ {
+		c.PredictTensor(screen(id), 0, 0.45)
+	}
+	if c.Len() != 100 || c.Misses() != 100 {
+		t.Fatalf("Len=%d Misses=%d, want 100/100", c.Len(), c.Misses())
+	}
+	calls := s.calls.Load()
+	for id := 0; id < 100; id++ {
+		got := c.PredictTensor(screen(id), 0, 0.45)
+		if len(got) != 1 || got[0].B.X != float64(id) {
+			t.Fatalf("screen %d: cached result %v", id, got)
+		}
+	}
+	if s.calls.Load() != calls {
+		t.Fatalf("resident entries re-ran the backend %d times", s.calls.Load()-calls)
+	}
+	if c.Hits() != 100 {
+		t.Fatalf("Hits=%d, want 100", c.Hits())
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate=%v, want 0.5", got)
+	}
+}
+
+// TestCacheBoundedPastCapacityPerShard: the per-shard rings must bound the
+// whole cache even under a key distribution that lands unevenly.
+func TestCacheBoundedPastCapacityPerShard(t *testing.T) {
+	c := WithResultCache(&contentStub{}, 64)
+	for id := 0; id < 1000; id++ {
+		c.PredictTensor(screen(id), 0, 0.45)
+	}
+	if c.Len() > 64 {
+		t.Fatalf("Len=%d exceeds capacity 64", c.Len())
+	}
+	// maphash distributes keys uniformly; with 1000 inserts every shard's
+	// ring must have filled.
+	if c.Len() != 64 {
+		t.Fatalf("Len=%d, want full cache of 64", c.Len())
+	}
+}
+
+// TestCachePublishStats routes the tallies into a Timings recorder, the
+// line operators read hit-rate from.
+func TestCachePublishStats(t *testing.T) {
+	c := WithResultCache(&contentStub{}, 8)
+	x := screen(1)
+	c.PredictTensor(x, 0, 0.45)
+	c.PredictTensor(x, 0, 0.45)
+	c.PredictTensor(x, 0, 0.45)
+	rec := &perfmodel.Timings{}
+	c.PublishStats(rec)
+	snap := rec.Snapshot()
+	if snap["cache-hit"].Count != 2 || snap["cache-miss"].Count != 1 {
+		t.Fatalf("published hit=%d miss=%d, want 2/1", snap["cache-hit"].Count, snap["cache-miss"].Count)
+	}
+	c.PublishStats(nil) // must not panic
+}
+
+// TestHitRateEmptyCache guards the 0/0 division.
+func TestHitRateEmptyCache(t *testing.T) {
+	if got := WithResultCache(&contentStub{}, 8).HitRate(); got != 0 {
+		t.Fatalf("empty cache HitRate=%v", got)
+	}
+}
+
+// TestShardedCacheConcurrentStress hammers one sharded cache from many
+// goroutines mixing single and batch lookups over a rotating working set —
+// the -race soak for the serving layer's shared cache. Every result must
+// match its screen, and the counters must reconcile with the total number
+// of lookups.
+func TestShardedCacheConcurrentStress(t *testing.T) {
+	s := &contentStub{}
+	c := WithResultCache(s, 64)
+	const (
+		workers = 8
+		iters   = 60
+		screens = 90 // working set larger than capacity: constant eviction
+	)
+	pool := make([]*tensor.Tensor, screens)
+	for id := range pool {
+		pool[id] = screen(id)
+	}
+	var wg sync.WaitGroup
+	var lookups atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				if i%4 == 3 {
+					// Batch of 3 screens, possibly with duplicates.
+					ids := []int{rng.Intn(screens), rng.Intn(screens), rng.Intn(screens)}
+					x := tensor.New(3, 3, yolite.InputH, yolite.InputW)
+					per := len(x.Data) / 3
+					for j, id := range ids {
+						copy(x.Data[j*per:(j+1)*per], pool[id].Data)
+					}
+					out := c.PredictBatch(x, 0.45)
+					lookups.Add(3)
+					for j, id := range ids {
+						if len(out[j]) != 1 || out[j][0].B.X != float64(id) {
+							t.Errorf("batch item for screen %d: %v", id, out[j])
+							return
+						}
+					}
+					continue
+				}
+				id := rng.Intn(screens)
+				got := c.PredictTensor(pool[id], 0, 0.45)
+				lookups.Add(1)
+				if len(got) != 1 || got[0].B.X != float64(id) {
+					t.Errorf("screen %d: %v", id, got)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len=%d exceeds capacity under concurrency", c.Len())
+	}
+	if got := int64(c.Hits() + c.Misses()); got != lookups.Load() {
+		t.Fatalf("hits+misses=%d, lookups=%d", got, lookups.Load())
+	}
+	if c.Hits() == 0 {
+		t.Fatal("stress produced no hits; working set or iteration count is off")
+	}
+}
+
+// TestCacheKeyThresholdSensitivity: the same pixels under a different
+// operating threshold is a different cache entry — thresholds change the
+// backend's answer.
+func TestCacheKeyThresholdSensitivity(t *testing.T) {
+	c := WithResultCache(&contentStub{}, 8)
+	x := screen(5)
+	c.PredictTensor(x, 0, 0.45)
+	c.PredictTensor(x, 0, 0.60)
+	if c.Misses() != 2 {
+		t.Fatalf("distinct thresholds shared an entry: misses=%d", c.Misses())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", c.Len())
+	}
+}
+
+func BenchmarkShardedCacheParallelHits(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := WithShardedResultCache(&contentStub{}, 256, shards)
+			pool := make([]*tensor.Tensor, 32)
+			for id := range pool {
+				pool[id] = screen(id)
+				c.PredictTensor(pool[id], 0, 0.45)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					c.PredictTensor(pool[rng.Intn(len(pool))], 0, 0.45)
+				}
+			})
+		})
+	}
+}

@@ -1,9 +1,7 @@
 package detect
 
 import (
-	"hash/maphash"
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -67,197 +65,6 @@ func (m nmsDetector) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metr
 	out := PredictBatch(m.inner, x, confThresh)
 	for i := range out {
 		out[i] = metrics.NMS(out[i], m.iou)
-	}
-	return out
-}
-
-// Cache memoises inference results keyed on the screenshot's tensor content,
-// so an unchanged screen (the common case: debounce fires on cosmetic churn
-// that dies outside the model's downsampled view) skips re-inference
-// entirely. Eviction is FIFO at the configured capacity. Safe for concurrent
-// use.
-type Cache struct {
-	inner    Detector
-	capacity int
-
-	mu      sync.Mutex
-	entries map[uint64][]metrics.Detection
-	order   []uint64
-	hits    int
-	misses  int
-}
-
-// DefaultCacheCapacity bounds the cache when WithResultCache is given a
-// non-positive capacity.
-const DefaultCacheCapacity = 32
-
-// WithResultCache wraps d with a content-hash result cache holding up to
-// capacity screens.
-func WithResultCache(d Detector, capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultCacheCapacity
-	}
-	return &Cache{inner: d, capacity: capacity, entries: map[uint64][]metrics.Detection{}}
-}
-
-// Name reports the inner backend's name.
-func (c *Cache) Name() string { return c.inner.Name() }
-
-// Hits returns how many calls were answered from the cache.
-func (c *Cache) Hits() int { c.mu.Lock(); defer c.mu.Unlock(); return c.hits }
-
-// Misses returns how many calls ran the inner detector.
-func (c *Cache) Misses() int { c.mu.Lock(); defer c.mu.Unlock(); return c.misses }
-
-// Len returns the number of cached screens.
-func (c *Cache) Len() int { c.mu.Lock(); defer c.mu.Unlock(); return len(c.entries) }
-
-// cacheSeed is fixed so keys are stable within a process run.
-var cacheSeed = maphash.MakeSeed()
-
-// key hashes batch item n's pixels plus the threshold. Hashing ~46k floats
-// costs microseconds against the ~10ms+ a conv backbone costs, so a hit is
-// three orders of magnitude cheaper than inference.
-func cacheKey(x *tensor.Tensor, n int, confThresh float64) (uint64, bool) {
-	if x == nil || len(x.Shape) == 0 {
-		return 0, false
-	}
-	per := 1
-	for _, d := range x.Shape[1:] {
-		per *= d
-	}
-	lo, hi := n*per, (n+1)*per
-	if lo < 0 || hi > len(x.Data) {
-		return 0, false
-	}
-	var h maphash.Hash
-	h.SetSeed(cacheSeed)
-	var buf [8]byte
-	putU64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	putU64(math.Float64bits(confThresh))
-	for i := lo; i < hi; i += 2 {
-		v := uint64(math.Float32bits(x.Data[i]))
-		if i+1 < hi {
-			v |= uint64(math.Float32bits(x.Data[i+1])) << 32
-		}
-		putU64(v)
-	}
-	return h.Sum64(), true
-}
-
-// PredictTensor answers from the cache when the screen content is unchanged
-// and delegates (then memoises) otherwise. Returned slices are fresh copies:
-// the pipeline scales detection boxes in place.
-func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
-	key, ok := cacheKey(x, n, confThresh)
-	if !ok {
-		return c.inner.PredictTensor(x, n, confThresh)
-	}
-	c.mu.Lock()
-	if dets, hit := c.entries[key]; hit {
-		c.hits++
-		c.mu.Unlock()
-		return append([]metrics.Detection(nil), dets...)
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	dets := c.inner.PredictTensor(x, n, confThresh)
-	c.store(key, dets)
-	return dets
-}
-
-// store memoises dets under key (copying the slice), evicting the oldest
-// entry at capacity. Re-storing a key another call raced in is a no-op.
-func (c *Cache) store(key uint64, dets []metrics.Detection) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.entries[key]; dup {
-		return
-	}
-	if len(c.order) >= c.capacity {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
-	}
-	c.entries[key] = append([]metrics.Detection(nil), dets...)
-	c.order = append(c.order, key)
-}
-
-// PredictBatch answers hit items from the memo and forwards only the
-// compacted miss sub-batch to the inner detector, so an audit batch pays
-// inference only for content the cache has not seen. Duplicate screens
-// within one batch are forwarded once and fanned back out. Hits() counts
-// items answered from the memo; Misses() counts the rest (an in-batch
-// duplicate is a miss, though only its first occurrence reaches the
-// backend).
-func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
-	if x == nil || len(x.Shape) == 0 {
-		return nil
-	}
-	n := x.Shape[0]
-	keys := make([]uint64, n)
-	for i := range keys {
-		key, ok := cacheKey(x, i, confThresh)
-		if !ok {
-			// Malformed batch: bypass the cache entirely.
-			return PredictBatch(c.inner, x, confThresh)
-		}
-		keys[i] = key
-	}
-	out := make([][]metrics.Detection, n)
-	answered := make([]bool, n)
-	var missItems []int        // first item index per unique missing key
-	missAt := map[uint64]int{} // key -> index into the miss sub-batch
-	c.mu.Lock()
-	for i := 0; i < n; i++ {
-		if dets, hit := c.entries[keys[i]]; hit {
-			c.hits++
-			out[i] = append([]metrics.Detection(nil), dets...)
-			answered[i] = true
-			continue
-		}
-		c.misses++
-		if _, dup := missAt[keys[i]]; !dup {
-			missAt[keys[i]] = len(missItems)
-			missItems = append(missItems, i)
-		}
-	}
-	c.mu.Unlock()
-	if len(missItems) == 0 {
-		return out
-	}
-	sub := x
-	if len(missItems) != n {
-		per := 1
-		for _, d := range x.Shape[1:] {
-			per *= d
-		}
-		sub = tensor.New(append([]int{len(missItems)}, x.Shape[1:]...)...)
-		for j, i := range missItems {
-			copy(sub.Data[j*per:(j+1)*per], x.Data[i*per:(i+1)*per])
-		}
-	}
-	res := PredictBatch(c.inner, sub, confThresh)
-	for j, i := range missItems {
-		c.store(keys[i], res[j])
-	}
-	for i := 0; i < n; i++ {
-		if answered[i] {
-			continue
-		}
-		j := missAt[keys[i]]
-		if missItems[j] == i {
-			out[i] = res[j]
-		} else {
-			// In-batch duplicate: hand out a copy, like a cache hit would.
-			out[i] = append([]metrics.Detection(nil), res[j]...)
-		}
 	}
 	return out
 }

@@ -34,6 +34,22 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
+// ForwardPooled runs the stack inference-only, drawing every intermediate
+// activation from p and returning each to the pool as soon as the next
+// layer has consumed it. Only the returned tensor is still live; the caller
+// owns it and should Put it back when done. The input x is never pooled.
+func (s *Sequential) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	cur := x
+	for _, l := range s.Layers {
+		y := tensor.InferPooled(l, cur, p)
+		if cur != x {
+			p.Put(cur)
+		}
+		cur = y
+	}
+	return cur
+}
+
 // Backward runs the stack in reverse.
 func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
@@ -74,6 +90,20 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for i := range out.Data {
 		out.Data[i] = y.Data[i] + x.Data[i]
 	}
+	return out
+}
+
+// ForwardPooled computes body(x) + x inference-only with pooled buffers.
+func (r *Residual) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+	y := tensor.InferPooled(r.Body, x, p)
+	if !y.SameShape(x) {
+		panic(fmt.Sprintf("nn: residual body changed shape %v -> %v", x.Shape, y.Shape))
+	}
+	out := p.Get(y.Shape...)
+	for i := range out.Data {
+		out.Data[i] = y.Data[i] + x.Data[i]
+	}
+	p.Put(y)
 	return out
 }
 

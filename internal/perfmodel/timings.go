@@ -74,6 +74,13 @@ func (t *Timings) ObserveBatch(stage string, d time.Duration, items int) {
 	}
 }
 
+// AddItems advances a stage's Count without contributing latency — for
+// event-style stages (cache hits, queue admissions) where only the tally is
+// meaningful. A nil recorder or non-positive count is a no-op.
+func (t *Timings) AddItems(stage string, items int) {
+	t.ObserveBatch(stage, 0, items)
+}
+
 // Stage returns a snapshot of one stage's counters. A nil recorder reports
 // zero counters.
 func (t *Timings) Stage(name string) LatencyStats {
@@ -103,15 +110,39 @@ func (t *Timings) Stages() []string {
 	return out
 }
 
-// String renders a one-line-per-stage summary for logs.
+// Snapshot returns every stage's counters under a single lock acquisition,
+// so the returned map is one consistent point-in-time view — concurrent
+// recorders cannot skew one stage against another, which per-stage Stage()
+// calls allow. The map is a copy; mutating it does not affect the recorder.
+// A nil recorder returns nil.
+func (t *Timings) Snapshot() map[string]LatencyStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]LatencyStats, len(t.stages))
+	for name, s := range t.stages {
+		out[name] = *s
+	}
+	return out
+}
+
+// String renders a one-line-per-stage summary for logs, from one consistent
+// snapshot (a single lock acquisition, not one per stage).
 func (t *Timings) String() string {
-	stages := t.Stages()
-	if len(stages) == 0 {
+	snap := t.Snapshot()
+	if len(snap) == 0 {
 		return "no timings recorded"
 	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var b strings.Builder
-	for i, name := range stages {
-		s := t.Stage(name)
+	for i, name := range names {
+		s := snap[name]
 		if i > 0 {
 			b.WriteString("; ")
 		}

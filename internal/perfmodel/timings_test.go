@@ -54,6 +54,48 @@ func TestTimingsNilReceiver(t *testing.T) {
 	}
 }
 
+// TestTimingsSnapshot: one call, one lock, every stage — and the returned
+// map is detached from the recorder.
+func TestTimingsSnapshot(t *testing.T) {
+	rec := &Timings{}
+	rec.Observe("infer", 10*time.Millisecond)
+	rec.ObserveBatch("capture", 6*time.Millisecond, 3)
+	snap := rec.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d stages, want 2", len(snap))
+	}
+	if snap["infer"].Count != 1 || snap["capture"].Count != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap["capture"].Mean() != 2*time.Millisecond {
+		t.Fatalf("capture mean = %v", snap["capture"].Mean())
+	}
+	// Detached: later observations must not appear in the old snapshot.
+	rec.Observe("infer", time.Millisecond)
+	if snap["infer"].Count != 1 {
+		t.Fatal("snapshot aliases live recorder state")
+	}
+	var nilRec *Timings
+	if nilRec.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot should be nil")
+	}
+}
+
+// TestTimingsAddItems: count-only stages tally items without latency, so
+// event counters (cache hits, queue admissions) share the recorder.
+func TestTimingsAddItems(t *testing.T) {
+	rec := &Timings{}
+	rec.AddItems("cache-hit", 5)
+	rec.AddItems("cache-hit", 2)
+	rec.AddItems("cache-hit", 0) // no-op
+	s := rec.Stage("cache-hit")
+	if s.Count != 7 || s.Total != 0 || s.Max != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	var nilRec *Timings
+	nilRec.AddItems("cache-hit", 3) // must not panic
+}
+
 func TestTimingsStages(t *testing.T) {
 	rec := &Timings{}
 	rec.Observe("infer", 5*time.Millisecond)

@@ -13,6 +13,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
@@ -87,8 +88,10 @@ func (q *qconv) quantiseWeights() {
 // with the calibrated scale, multiplied in int8 and accumulated in int32.
 // Like tensor.Conv2D.Forward, the disjoint (batch item, output channel)
 // planes are spread over the shared worker pool when the work justifies it,
-// so batched device inference scales with GOMAXPROCS.
-func (q *qconv) forward(x *tensor.Tensor) *tensor.Tensor {
+// so batched device inference scales with GOMAXPROCS. A non-nil p supplies
+// the output buffer and the int8 scratch, making the steady-state forward
+// allocation-free.
+func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
 	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if C != q.inC {
 		panic(fmt.Sprintf("quant: conv expects %d channels, got %d", q.inC, C))
@@ -96,26 +99,47 @@ func (q *qconv) forward(x *tensor.Tensor) *tensor.Tensor {
 	oh := (H+2*q.pad-q.k)/q.stride + 1
 	ow := (W+2*q.pad-q.k)/q.stride + 1
 	// Quantise the input activations.
-	qx := make([]int8, len(x.Data))
+	var qx []int8
+	if p != nil {
+		scratch := getQx(len(x.Data))
+		defer putQx(scratch)
+		qx = *scratch
+	} else {
+		qx = make([]int8, len(x.Data))
+	}
 	for i, v := range x.Data {
 		qx[i] = int8(clamp(math.Round(float64(v/q.inScale)), -127, 127))
 	}
-	y := tensor.New(N, q.outC, oh, ow)
+	y := p.Get(N, q.outC, oh, ow) // nil pool: falls back to tensor.New
 	tasks := N * q.outC
-	run := func(t int) { q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC) }
-	if tasks*oh*ow*q.inC*q.k*q.k >= minParallelWork {
-		tensor.ParallelFor(tasks, run)
-	} else {
-		for t := 0; t < tasks; t++ {
-			run(t)
-		}
+	if tensor.ParallelWorthwhile(tasks * oh * ow * q.inC * q.k * q.k) {
+		tensor.ParallelFor(tasks, func(t int) { q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC) })
+		return y
+	}
+	for t := 0; t < tasks; t++ {
+		q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC)
 	}
 	return y
 }
 
-// minParallelWork mirrors the tensor package's inline-vs-pool cutoff for the
-// int8 path: head convolutions over coarse grids stay on the caller.
-const minParallelWork = 1 << 15
+// qxPool recycles the int8 activation scratch across pooled forwards; the
+// buffers are fully overwritten before use. Slice-header pointers are
+// pooled so Put itself does not allocate an interface box.
+var qxPool sync.Pool
+
+func getQx(n int) *[]int8 {
+	if v := qxPool.Get(); v != nil {
+		p := v.(*[]int8)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	b := make([]int8, n)
+	return &b
+}
+
+func putQx(p *[]int8) { qxPool.Put(p) }
 
 // forwardPlane fills output plane (n, oc) from the quantised activations.
 // Planes write disjoint slices of y, so they are safe to run concurrently.
@@ -172,6 +196,12 @@ type Model struct {
 	// float and int8 backends like-for-like. Port seeds it from the source
 	// model.
 	DisableRefine bool
+
+	// Pool mirrors yolite.Model.Pool: when set, inference draws activation
+	// buffers (and the int8 scratch) from it instead of allocating per
+	// layer. Port carries it over from the source model. Training never
+	// goes through this backend, so every path may pool.
+	Pool *tensor.Pool
 }
 
 // extractConvBN pulls the conv and BN out of an nn.ConvBNAct block.
@@ -225,6 +255,7 @@ func Port(m *yolite.Model, calib []*dataset.Sample) *Model {
 		upoHead:       newQConvFromHead(m.UPOHead),
 		agoHead:       newQConvFromHead(m.AGOHead),
 		DisableRefine: m.DisableRefine,
+		Pool:          m.Pool,
 	}
 	qm.calibrate(m, calib)
 	return qm
@@ -276,17 +307,33 @@ func (qm *Model) calibrate(m *yolite.Model, calib []*dataset.Sample) {
 	}
 }
 
-// Forward runs the quantised network, returning both raw head maps.
+// Forward runs the quantised network, returning both raw head maps. With a
+// Pool installed, intermediates return to it as soon as their consumers are
+// done; the returned head maps are pooled buffers owned by the caller.
 func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
+	p := qm.Pool
 	h := x
 	for _, b := range qm.blocks {
-		h = b.forward(h)
+		y := b.forward(h, p)
+		if h != x {
+			p.Put(h)
+		}
+		h = y
 	}
-	upo = qm.upoHead.forward(h)
+	upo = qm.upoHead.forward(h, p)
+	d := h
 	for _, b := range qm.deep {
-		h = b.forward(h)
+		y := b.forward(d, p)
+		if d != x {
+			p.Put(d) // for the first deep block this releases the trunk,
+			// whose second consumer (the UPO head) has already run
+		}
+		d = y
 	}
-	ago = qm.agoHead.forward(h)
+	ago = qm.agoHead.forward(d, p)
+	if d != x {
+		p.Put(d)
+	}
 	return upo, ago
 }
 
@@ -296,7 +343,10 @@ func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 // loop.
 func (qm *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	upo, ago := qm.Forward(x)
-	return qm.decodeItem(x, upo, ago, n, confThresh)
+	dets := qm.decodeItem(x, upo, ago, n, confThresh)
+	qm.Pool.Put(upo)
+	qm.Pool.Put(ago)
+	return dets
 }
 
 // PredictBatch runs one int8 forward over the whole [N, 3, H, W] batch and
@@ -308,6 +358,8 @@ func (qm *Model) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.
 	for n := range out {
 		out[n] = qm.decodeItem(x, upo, ago, n, confThresh)
 	}
+	qm.Pool.Put(upo)
+	qm.Pool.Put(ago)
 	return out
 }
 
@@ -316,7 +368,13 @@ func (qm *Model) decodeItem(x, upo, ago *tensor.Tensor, n int, confThresh float6
 	dets := yolite.DecodeHead(upo, n, yolite.UPOHeadSpec, confThresh)
 	dets = append(dets, yolite.DecodeHead(ago, n, yolite.AGOHeadSpec, confThresh)...)
 	if !qm.DisableRefine {
-		dets = yolite.RefineDetections(dets, yolite.LumaPlane(x, n), yolite.InputW, yolite.InputH)
+		if qm.Pool != nil {
+			scratch := qm.Pool.Get(x.Shape[2] * x.Shape[3])
+			dets = yolite.RefineDetections(dets, yolite.LumaPlaneInto(x, n, scratch.Data), yolite.InputW, yolite.InputH)
+			qm.Pool.Put(scratch)
+		} else {
+			dets = yolite.RefineDetections(dets, yolite.LumaPlane(x, n), yolite.InputW, yolite.InputH)
+		}
 	}
 	return metrics.NMS(dets, 0.2)
 }

@@ -1,0 +1,286 @@
+// Package serve is the concurrent serving layer: it multiplexes many
+// independent auditors (simulated devices, store-audit workers) onto one
+// shared detector backend. Its core is the Batcher, a dynamic micro-batching
+// scheduler that coalesces concurrent single-screen Predict calls into one
+// PredictBatch forward, amortising the backbone across requests the way the
+// paper's accessibility service amortises one model across every app on the
+// device. The batch seam it drives is detect.PredictBatch, so any backend —
+// float, int8, cached, decorated — sits behind it unchanged.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxBatch = 8
+	DefaultMaxDelay = 2 * time.Millisecond
+)
+
+// Options tune the scheduler.
+type Options struct {
+	// MaxBatch caps how many requests one forward carries. A batch is
+	// flushed as soon as it is full.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company. It is the latency the slowest-arriving request pays to buy
+	// batching; under light load every batch degenerates to size 1 and the
+	// only cost is one timer.
+	MaxDelay time.Duration
+	// QueueSize is the request channel's buffer (default 4x MaxBatch).
+	QueueSize int
+	// Timings optionally receives scheduler statistics: the "serve-batch"
+	// stage tracks per-item amortised latency and total items, and
+	// "serve-queued" counts requests found still waiting when a batch was
+	// collected (queue pressure). Nil disables recording.
+	Timings *perfmodel.Timings
+}
+
+// request is one in-flight Predict call: batch item n of tensor x, answered
+// on resp.
+type request struct {
+	x    *tensor.Tensor
+	n    int
+	conf float64
+	resp chan []metrics.Detection
+}
+
+// Stats is a point-in-time snapshot of scheduler activity.
+type Stats struct {
+	Batches       int // forwards dispatched (after threshold grouping)
+	Items         int // requests served through the scheduler
+	MaxBatchSize  int // largest coalesced forward
+	MaxQueueDepth int // most requests seen waiting after a collection
+}
+
+// Batcher coalesces concurrent Predict requests into batched forwards. It
+// implements detect.Detector and detect.BatchPredictor, so it drops into any
+// seam a backend fits — including under the middleware decorators, though
+// the natural stack is Batcher on the outside of the shared cache:
+//
+//	shared := serve.NewBatcher(detect.WithResultCache(model, 256), serve.Options{})
+//
+// Safe for concurrent use. After Close, Predict degrades to direct
+// unbatched calls on the inner backend rather than failing.
+type Batcher struct {
+	inner    detect.Predictor
+	maxBatch int
+	maxDelay time.Duration
+	rec      *perfmodel.Timings
+
+	mu     sync.RWMutex // guards closed vs. sends on reqs
+	closed bool
+	reqs   chan request
+	done   chan struct{}
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// NewBatcher starts the scheduler goroutine over inner. Callers own the
+// returned Batcher and should Close it to stop the goroutine; requests
+// in flight at Close are still answered.
+func NewBatcher(inner detect.Predictor, opts Options) *Batcher {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = DefaultMaxDelay
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 4 * opts.MaxBatch
+	}
+	b := &Batcher{
+		inner:    inner,
+		maxBatch: opts.MaxBatch,
+		maxDelay: opts.MaxDelay,
+		rec:      opts.Timings,
+		reqs:     make(chan request, opts.QueueSize),
+		done:     make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Name reports the inner backend's name, so a batched detector still shows
+// up as itself in tables and logs.
+func (b *Batcher) Name() string {
+	if d, ok := b.inner.(detect.Detector); ok {
+		return d.Name()
+	}
+	return "batched"
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (b *Batcher) Stats() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.stats
+}
+
+// Close stops accepting new batched work, waits for the scheduler to drain
+// every queued request, and stops its goroutine. Predict remains safe to
+// call afterwards — it falls through to direct inner calls. Close is
+// idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	close(b.reqs)
+	b.mu.Unlock()
+	<-b.done
+}
+
+// PredictTensor submits one screen to the scheduler and blocks for its
+// result. The output is exactly what inner.PredictTensor would return: the
+// scheduler copies the item into a coalesced batch and the backends'
+// arithmetic is per-item independent (the invariant TestPredictBatchEquivalence
+// pins down).
+func (b *Batcher) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return b.inner.PredictTensor(x, n, confThresh)
+	}
+	resp := make(chan []metrics.Detection, 1)
+	// Send under the read lock: Close cannot close reqs while any sender
+	// holds it, and the buffered channel plus the draining dispatcher keep
+	// the critical section short.
+	b.reqs <- request{x: x, n: n, conf: confThresh, resp: resp}
+	b.mu.RUnlock()
+	return <-resp
+}
+
+// PredictBatch forwards an already-batched tensor directly: it is a batch,
+// there is nothing to coalesce, and routing it through the queue would only
+// add latency.
+func (b *Batcher) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	return detect.PredictBatch(b.inner, x, confThresh)
+}
+
+// dispatch is the scheduler loop: block for the first request, then collect
+// followers until the batch is full or MaxDelay elapses, then flush. A
+// closed request channel drains naturally — collect stops appending, the
+// final flush answers the stragglers, and the next outer receive exits.
+func (b *Batcher) dispatch() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := append(make([]request, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxDelay)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.noteCollected(len(batch), len(b.reqs))
+		b.flush(batch)
+	}
+}
+
+// noteCollected folds one collection into the counters.
+func (b *Batcher) noteCollected(size, depth int) {
+	b.statsMu.Lock()
+	b.stats.Items += size
+	if size > b.stats.MaxBatchSize {
+		b.stats.MaxBatchSize = size
+	}
+	if depth > b.stats.MaxQueueDepth {
+		b.stats.MaxQueueDepth = depth
+	}
+	b.statsMu.Unlock()
+	b.rec.AddItems("serve-queued", depth)
+}
+
+// flush answers every request in batch. Requests are grouped by confidence
+// threshold and item shape — a batched forward carries one threshold, and
+// heterogeneous screens cannot share a tensor — then each group runs as one
+// PredictBatch. Single-request groups skip the copy and run directly.
+func (b *Batcher) flush(batch []request) {
+	for len(batch) > 0 {
+		// group gets its own array: the in-place tail filter below reuses
+		// batch's backing array, which an aliased append would clobber.
+		group := append(make([]request, 0, len(batch)), batch[0])
+		rest := batch[1:]
+		tail := batch[1:1]
+		for _, r := range rest {
+			if r.conf == group[0].conf && sameItemShape(r, group[0]) {
+				group = append(group, r)
+			} else {
+				tail = append(tail, r)
+			}
+		}
+		b.runGroup(group)
+		batch = tail
+	}
+}
+
+// sameItemShape reports whether two requests' per-item tensors agree in
+// every non-batch dimension.
+func sameItemShape(a, c request) bool {
+	if len(a.x.Shape) != len(c.x.Shape) {
+		return false
+	}
+	for i := 1; i < len(a.x.Shape); i++ {
+		if a.x.Shape[i] != c.x.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runGroup executes one homogeneous group as a single forward and fans the
+// results back out to their requesters.
+func (b *Batcher) runGroup(group []request) {
+	start := time.Now()
+	if len(group) == 1 {
+		r := group[0]
+		r.resp <- b.inner.PredictTensor(r.x, r.n, r.conf)
+		b.noteBatch(time.Since(start), 1)
+		return
+	}
+	item := group[0].x.Shape[1:]
+	per := 1
+	for _, d := range item {
+		per *= d
+	}
+	sub := tensor.New(append([]int{len(group)}, item...)...)
+	for j, r := range group {
+		copy(sub.Data[j*per:(j+1)*per], r.x.Data[r.n*per:(r.n+1)*per])
+	}
+	res := detect.PredictBatch(b.inner, sub, group[0].conf)
+	for j, r := range group {
+		r.resp <- res[j]
+	}
+	b.noteBatch(time.Since(start), len(group))
+}
+
+// noteBatch records one flushed forward.
+func (b *Batcher) noteBatch(wall time.Duration, items int) {
+	b.statsMu.Lock()
+	b.stats.Batches++
+	b.statsMu.Unlock()
+	b.rec.ObserveBatch("serve-batch", wall, items)
+}

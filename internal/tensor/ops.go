@@ -58,16 +58,37 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		c.lastIn = x
 	}
-	tasks := N * c.OutC
-	run := func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) }
-	if tasks*OH*OW*c.InC*c.K*c.K >= minParallelWork {
-		ParallelFor(tasks, run)
-	} else {
-		for t := 0; t < tasks; t++ {
-			run(t)
-		}
-	}
+	c.forwardInto(x, y)
 	return y
+}
+
+// ForwardPooled is the inference-only forward: the output buffer comes from
+// p (contents fully overwritten) and no backward bookkeeping is recorded.
+func (c *Conv2D) ForwardPooled(x *Tensor, p *Pool) *Tensor {
+	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if C != c.InC {
+		panic(fmt.Sprintf("tensor: conv expects %d input channels, got %d", c.InC, C))
+	}
+	OH, OW := c.OutSize(H, W)
+	y := p.Get(N, c.OutC, OH, OW)
+	c.forwardInto(x, y)
+	return y
+}
+
+// forwardInto computes the convolution into the preallocated output y,
+// writing every element. Output planes are independent, so they run on the
+// shared worker pool when the flop count justifies it.
+func (c *Conv2D) forwardInto(x, y *Tensor) {
+	N := x.Shape[0]
+	OH, OW := y.Shape[2], y.Shape[3]
+	tasks := N * c.OutC
+	if ParallelWorthwhile(tasks * OH * OW * c.InC * c.K * c.K) {
+		ParallelFor(tasks, func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) })
+		return
+	}
+	for t := 0; t < tasks; t++ {
+		c.forwardPlane(x, y, t/c.OutC, t%c.OutC)
+	}
 }
 
 // forwardPlane fills output plane (n, oc). Each plane touches a disjoint
@@ -198,60 +219,84 @@ func (bn *BatchNorm2D) Forward(x *Tensor, train bool) *Tensor {
 		panic(fmt.Sprintf("tensor: batchnorm expects %d channels, got %d", bn.C, C))
 	}
 	y := New(N, C, H, W)
+	if !train {
+		bn.inferInto(x, y)
+		return y
+	}
 	plane := H * W
 	count := float32(N * plane)
-	if train {
-		bn.lastIn = x
-		if cap(bn.lastNorm) < len(x.Data) {
-			bn.lastNorm = make([]float32, len(x.Data))
-		}
-		bn.lastNorm = bn.lastNorm[:len(x.Data)]
-		if bn.batchStd == nil {
-			bn.batchStd = make([]float32, C)
-		}
+	bn.lastIn = x
+	if cap(bn.lastNorm) < len(x.Data) {
+		bn.lastNorm = make([]float32, len(x.Data))
+	}
+	bn.lastNorm = bn.lastNorm[:len(x.Data)]
+	if bn.batchStd == nil {
+		bn.batchStd = make([]float32, C)
 	}
 	for c := 0; c < C; c++ {
-		var mean, variance float32
-		if train {
-			var sum float32
-			for n := 0; n < N; n++ {
-				base := ((n*C + c) * plane)
-				for i := 0; i < plane; i++ {
-					sum += x.Data[base+i]
-				}
+		var sum float32
+		for n := 0; n < N; n++ {
+			base := ((n*C + c) * plane)
+			for i := 0; i < plane; i++ {
+				sum += x.Data[base+i]
 			}
-			mean = sum / count
-			var sq float32
-			for n := 0; n < N; n++ {
-				base := ((n*C + c) * plane)
-				for i := 0; i < plane; i++ {
-					d := x.Data[base+i] - mean
-					sq += d * d
-				}
-			}
-			variance = sq / count
-			bn.RunMean[c] = (1-bn.Momentum)*bn.RunMean[c] + bn.Momentum*mean
-			bn.RunVar[c] = (1-bn.Momentum)*bn.RunVar[c] + bn.Momentum*variance
-		} else {
-			mean, variance = bn.RunMean[c], bn.RunVar[c]
 		}
+		mean := sum / count
+		var sq float32
+		for n := 0; n < N; n++ {
+			base := ((n*C + c) * plane)
+			for i := 0; i < plane; i++ {
+				d := x.Data[base+i] - mean
+				sq += d * d
+			}
+		}
+		variance := sq / count
+		bn.RunMean[c] = (1-bn.Momentum)*bn.RunMean[c] + bn.Momentum*mean
+		bn.RunVar[c] = (1-bn.Momentum)*bn.RunVar[c] + bn.Momentum*variance
 		std := float32(math.Sqrt(float64(variance + bn.Eps)))
-		if train {
-			bn.batchStd[c] = std
-		}
+		bn.batchStd[c] = std
 		g, b := bn.Gamma.Data[c], bn.Beta.Data[c]
 		for n := 0; n < N; n++ {
 			base := ((n*C + c) * plane)
 			for i := 0; i < plane; i++ {
 				norm := (x.Data[base+i] - mean) / std
-				if train {
-					bn.lastNorm[base+i] = norm
-				}
+				bn.lastNorm[base+i] = norm
 				y.Data[base+i] = g*norm + b
 			}
 		}
 	}
 	return y
+}
+
+// ForwardPooled normalises with the running statistics into a pooled
+// buffer — the inference-only path.
+func (bn *BatchNorm2D) ForwardPooled(x *Tensor, p *Pool) *Tensor {
+	if x.Shape[1] != bn.C {
+		panic(fmt.Sprintf("tensor: batchnorm expects %d channels, got %d", bn.C, x.Shape[1]))
+	}
+	y := p.Get(x.Shape...)
+	bn.inferInto(x, y)
+	return y
+}
+
+// inferInto applies the running-statistics normalisation into y, writing
+// every element — arithmetic identical to the historical eval branch of
+// Forward.
+func (bn *BatchNorm2D) inferInto(x, y *Tensor) {
+	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	plane := H * W
+	for c := 0; c < C; c++ {
+		mean, variance := bn.RunMean[c], bn.RunVar[c]
+		std := float32(math.Sqrt(float64(variance + bn.Eps)))
+		g, b := bn.Gamma.Data[c], bn.Beta.Data[c]
+		for n := 0; n < N; n++ {
+			base := ((n*C + c) * plane)
+			for i := 0; i < plane; i++ {
+				norm := (x.Data[base+i] - mean) / std
+				y.Data[base+i] = g*norm + b
+			}
+		}
+	}
 }
 
 // Backward propagates through the normalisation.
@@ -307,6 +352,19 @@ func (l *LeakyReLU) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		l.lastIn = x
 	}
+	l.applyInto(x, y)
+	return y
+}
+
+// ForwardPooled applies the activation into a pooled buffer.
+func (l *LeakyReLU) ForwardPooled(x *Tensor, p *Pool) *Tensor {
+	y := p.Get(x.Shape...)
+	l.applyInto(x, y)
+	return y
+}
+
+// applyInto writes the activation of every element of x into y.
+func (l *LeakyReLU) applyInto(x, y *Tensor) {
 	for i, v := range x.Data {
 		if v >= 0 {
 			y.Data[i] = v
@@ -314,7 +372,6 @@ func (l *LeakyReLU) Forward(x *Tensor, train bool) *Tensor {
 			y.Data[i] = l.Slope * v
 		}
 	}
-	return y
 }
 
 // Backward gates the gradient by the sign of the stored input.
@@ -348,8 +405,8 @@ func NewMaxPool2D() *MaxPool2D { return &MaxPool2D{} }
 
 // Forward pools each 2x2 block to its maximum.
 func (p *MaxPool2D) Forward(x *Tensor, train bool) *Tensor {
-	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	OH, OW := H/2, W/2
+	N, C := x.Shape[0], x.Shape[1]
+	OH, OW := x.Shape[2]/2, x.Shape[3]/2
 	y := New(N, C, OH, OW)
 	if train {
 		if cap(p.argmax) < len(y.Data) {
@@ -358,6 +415,22 @@ func (p *MaxPool2D) Forward(x *Tensor, train bool) *Tensor {
 		p.argmax = p.argmax[:len(y.Data)]
 		p.inLen = len(x.Data)
 	}
+	p.poolInto(x, y, train)
+	return y
+}
+
+// ForwardPooled pools into a pooled buffer without argmax bookkeeping.
+func (p *MaxPool2D) ForwardPooled(x *Tensor, pool *Pool) *Tensor {
+	y := pool.Get(x.Shape[0], x.Shape[1], x.Shape[2]/2, x.Shape[3]/2)
+	p.poolInto(x, y, false)
+	return y
+}
+
+// poolInto writes each 2x2 block's maximum into y, recording argmax
+// positions for the backward pass only when train is set.
+func (p *MaxPool2D) poolInto(x, y *Tensor, train bool) {
+	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	OH, OW := y.Shape[2], y.Shape[3]
 	for n := 0; n < N; n++ {
 		for c := 0; c < C; c++ {
 			inBase := ((n*C + c) * H) * W
@@ -380,7 +453,6 @@ func (p *MaxPool2D) Forward(x *Tensor, train bool) *Tensor {
 			}
 		}
 	}
-	return y
 }
 
 // Backward routes gradients to the argmax positions.

@@ -11,6 +11,16 @@ import (
 // finishes faster inline than the worker pool can hand it out.
 const minParallelWork = 1 << 15
 
+// ParallelWorthwhile reports whether work of the given flop count should go
+// through ParallelFor at all. Callers use it to construct the task closure
+// only on the parallel branch: a closure literal passed to ParallelFor
+// escapes, so building it unconditionally heap-allocates once per forward
+// even when the serial loop runs — on a single processor that is the entire
+// steady-state allocation of a pooled forward.
+func ParallelWorthwhile(flops int) bool {
+	return flops >= minParallelWork && runtime.GOMAXPROCS(0) > 1
+}
+
 // ParallelFor runs f(i) for every i in [0, n) on a bounded worker pool sized
 // by GOMAXPROCS, returning when all tasks finish. Tasks are claimed from an
 // atomic counter, so uneven task costs balance across workers. Tasks must be

@@ -29,7 +29,10 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", d, shape))
+			// Print a copy: handing shape itself to Sprintf would make the
+			// parameter escape, heap-allocating the variadic slice at every
+			// call site — including Pool.Get's per-layer inference calls.
+			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", d, append([]int(nil), shape...)))
 		}
 		n *= d
 	}

@@ -58,6 +58,14 @@ type Model struct {
 	// ablation benchmarks.
 	DisableRefine bool
 
+	// Pool, when set, recycles activation buffers across inference calls:
+	// Forward(train=false) draws every intermediate from it and Predict*
+	// return the head maps once decoded, cutting steady-state allocations
+	// per inference to near zero. Training ignores it — the backward pass
+	// holds references to forward activations, so they must stay fresh.
+	// Safe to share across goroutines serving one model.
+	Pool *tensor.Pool
+
 	// cached stride-8 activation for the backward pass
 	lastF8 *tensor.Tensor
 }
@@ -108,6 +116,9 @@ func (m *Model) Load(path string) error { return nn.LoadWeightsFile(path, m.asSe
 // Forward runs the backbone and both heads. x is [N, 3, InputH, InputW];
 // the returned maps are [N, 5, GH, GW] for each head.
 func (m *Model) Forward(x *tensor.Tensor, train bool) (upo, ago *tensor.Tensor) {
+	if !train && m.Pool != nil {
+		return m.forwardPooled(x)
+	}
 	f8 := m.B3b.Forward(m.B3.Forward(m.B2.Forward(m.B1.Forward(x, train), train), train), train)
 	if train {
 		m.lastF8 = f8
@@ -115,6 +126,29 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) (upo, ago *tensor.Tensor) 
 	upo = m.UPOHead.Forward(f8, train)
 	f32 := m.B5.Forward(m.B4.Forward(f8, train), train)
 	ago = m.AGOHead.Forward(f32, train)
+	return upo, ago
+}
+
+// forwardPooled is the inference forward with recycled activations: each
+// intermediate returns to the pool the moment its consumers are done. The
+// returned head maps are pooled buffers owned by the caller; Predict*
+// release them after decoding.
+func (m *Model) forwardPooled(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
+	p := m.Pool
+	h1 := m.B1.ForwardPooled(x, p)
+	h2 := m.B2.ForwardPooled(h1, p)
+	p.Put(h1)
+	h3 := m.B3.ForwardPooled(h2, p)
+	p.Put(h2)
+	f8 := m.B3b.ForwardPooled(h3, p)
+	p.Put(h3)
+	upo = m.UPOHead.ForwardPooled(f8, p)
+	h4 := m.B4.ForwardPooled(f8, p)
+	p.Put(f8) // both consumers (UPO head, B4) are done
+	h5 := m.B5.ForwardPooled(h4, p)
+	p.Put(h4)
+	ago = m.AGOHead.ForwardPooled(h5, p)
+	p.Put(h5)
 	return upo, ago
 }
 
@@ -228,7 +262,10 @@ func DecodeHead(out *tensor.Tensor, n int, spec HeadSpec, confThresh float64) []
 // forwards once and decodes every item.
 func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
 	upo, ago := m.Forward(x, false)
-	return m.decodeItem(x, upo, ago, n, confThresh)
+	dets := m.decodeItem(x, upo, ago, n, confThresh)
+	m.Pool.Put(upo)
+	m.Pool.Put(ago)
+	return dets
 }
 
 // PredictBatch runs one forward over the whole [N, 3, H, W] batch and
@@ -241,6 +278,8 @@ func (m *Model) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 	for n := range out {
 		out[n] = m.decodeItem(x, upo, ago, n, confThresh)
 	}
+	m.Pool.Put(upo)
+	m.Pool.Put(ago)
 	return out
 }
 
@@ -250,7 +289,13 @@ func (m *Model) decodeItem(x, upo, ago *tensor.Tensor, n int, confThresh float64
 	dets := DecodeHead(upo, n, UPOHeadSpec, confThresh)
 	dets = append(dets, DecodeHead(ago, n, AGOHeadSpec, confThresh)...)
 	if !m.DisableRefine {
-		dets = RefineDetections(dets, LumaPlane(x, n), InputW, InputH)
+		if m.Pool != nil {
+			scratch := m.Pool.Get(x.Shape[2] * x.Shape[3])
+			dets = RefineDetections(dets, LumaPlaneInto(x, n, scratch.Data), InputW, InputH)
+			m.Pool.Put(scratch)
+		} else {
+			dets = RefineDetections(dets, LumaPlane(x, n), InputW, InputH)
+		}
 	}
 	// Same-class options are never adjacent on real AUIs, so NMS can be
 	// aggressive; this removes the duplicate fires that multi-cell target

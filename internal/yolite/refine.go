@@ -35,10 +35,21 @@ const (
 // LumaPlane extracts the luminance plane of batch item n from a normalised
 // [N, 3, H, W] tensor.
 func LumaPlane(x *tensor.Tensor, n int) []float32 {
+	return LumaPlaneInto(x, n, nil)
+}
+
+// LumaPlaneInto is LumaPlane writing into dst when it is large enough,
+// letting pooled inference reuse one scratch plane across decodes. It
+// returns the filled plane (dst re-sliced, or a fresh slice).
+func LumaPlaneInto(x *tensor.Tensor, n int, dst []float32) []float32 {
 	h, w := x.Shape[2], x.Shape[3]
 	plane := h * w
 	base := n * 3 * plane
-	out := make([]float32, plane)
+	out := dst
+	if cap(out) < plane {
+		out = make([]float32, plane)
+	}
+	out = out[:plane]
 	for i := 0; i < plane; i++ {
 		out[i] = 0.299*x.Data[base+i] + 0.587*x.Data[base+plane+i] + 0.114*x.Data[base+2*plane+i]
 	}
