@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite] [-fleet N]
+//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite] [-fleet N] [-deadline 0]
 //
 // With -fleet N > 1 the single-handset timeline is replaced by N simulated
 // devices running concurrently, all funnelling their inference through one
@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
@@ -49,6 +50,7 @@ func main() {
 	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
 	detector := flag.String("detector", "yolite", "registry backend to run the service with")
 	fleet := flag.Int("fleet", 1, "simulated devices sharing one batched detector (1 = classic single-handset run)")
+	deadline := flag.Duration("deadline", 0, "per-analysis wall-clock deadline (0 = none); expired cycles abort mid-forward and skip decoration")
 	flag.Parse()
 
 	clock := sim.NewClock(42)
@@ -69,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *fleet > 1 {
-		runFleet(model, *fleet, *minutes, *bypass, *obfuscate)
+		runFleet(model, *fleet, *minutes, *bypass, *obfuscate, *deadline)
 		return
 	}
 	a := app.Launch(clock, mgr, app.Config{
@@ -80,7 +82,7 @@ func main() {
 	monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
 
 	shotIdx := 0
-	svc := core.Start(clock, mgr, model, core.Config{AutoBypass: *bypass})
+	svc := core.Start(clock, mgr, model, core.Config{AutoBypass: *bypass, Deadline: *deadline})
 	svc.OnAnalysis = func(an core.Analysis) {
 		if len(an.Detections) == 0 {
 			return
@@ -122,6 +124,8 @@ func main() {
 	fmt.Printf("accessibility events seen:   %d\n", st.EventsSeen)
 	fmt.Printf("debounced (work avoided):    %d\n", st.Debounced)
 	fmt.Printf("screens analysed:            %d\n", st.Analyses)
+	fmt.Printf("analyses superseded:         %d\n", st.Superseded)
+	fmt.Printf("analyses timed out:          %d\n", st.TimedOut)
 	fmt.Printf("AUIs flagged:                %d\n", st.AUIFlagged)
 	fmt.Printf("decorations drawn:           %d\n", st.DecorationsDrawn)
 	fmt.Printf("auto-bypass clicks:          %d\n", st.Bypasses)
@@ -141,7 +145,7 @@ func main() {
 // Each device owns its clock, screen, app, monkey and DARPA service — only
 // the detector is shared, which is safe because inference is read-only and
 // the batching, caching and pooling layers are all concurrency-safe.
-func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate bool) {
+func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate bool, deadline time.Duration) {
 	// Tensor backends get an activation pool: with many devices in flight
 	// the steady-state forward otherwise allocates every intermediate fresh.
 	switch m := model.(type) {
@@ -167,6 +171,11 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
+			// Per-device context: cancelling it abandons every analysis the
+			// device still has in flight, the way pulling one handset out of
+			// a device lab should not disturb the shared serving stack.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
 			clock := sim.NewClock(int64(42 + d))
 			screen := uikit.NewScreen(384, 640)
 			mgr := a11y.NewManager(clock, screen)
@@ -177,7 +186,11 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 				GenSeed:         int64(100 + d),
 			})
 			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
-			svc := core.Start(clock, mgr, shared, core.Config{AutoBypass: bypass})
+			svc := core.Start(clock, mgr, shared, core.Config{
+				AutoBypass:  bypass,
+				Deadline:    deadline,
+				BaseContext: ctx,
+			})
 			clock.RunUntil(time.Duration(minutes) * time.Minute)
 			monkey.Stop()
 			svc.Stop()
@@ -199,12 +212,14 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 		agg.Analyses += r.stats.Analyses
 		agg.AUIFlagged += r.stats.AUIFlagged
 		agg.DecorationsDrawn += r.stats.DecorationsDrawn
+		agg.Superseded += r.stats.Superseded
+		agg.TimedOut += r.stats.TimedOut
 	}
 	st := shared.Stats()
-	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses, %d AUIs flagged, %d decorations\n",
-		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.AUIFlagged, agg.DecorationsDrawn)
-	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d)\n",
-		st.Batches, st.Items, st.MaxBatchSize, st.MaxQueueDepth)
+	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses (%d superseded, %d timed out), %d AUIs flagged, %d decorations\n",
+		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.Superseded, agg.TimedOut, agg.AUIFlagged, agg.DecorationsDrawn)
+	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d, %d cancelled in queue)\n",
+		st.Batches, st.Items, st.MaxBatchSize, st.MaxQueueDepth, st.Cancelled)
 	fmt.Printf("shared cache: %.0f%% hit rate (%d hits / %d misses, %d shards)\n",
 		100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
 	fmt.Printf("serving:      %s\n", rec.String())

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -86,11 +87,22 @@ func main() {
 	cached := detect.WithResultCache(model, 256)
 	auditor := detect.WithTiming(cached, rec, "batch-infer")
 
+	// The whole audit runs under one deadline: a regulator's pipeline would
+	// rather ship a partial report on time than a complete one late.
+	// AuditScreensCtx returns the screens fully audited before the deadline;
+	// the generous budget here means the audit normally completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
 	var rows []auditRow
 	total := 0
 	for i, cfg := range catalogue {
 		row := auditRow{pkg: cfg.Package, screens: len(shotsPerApp[i]), popups: popups[i]}
-		for _, dets := range core.AuditScreens(auditor, shotsPerApp[i], yolite.DefaultConfThresh, core.DefaultAuditBatch) {
+		audited, err := core.AuditScreensCtx(ctx, auditor, shotsPerApp[i], yolite.DefaultConfThresh, core.DefaultAuditBatch)
+		if err != nil {
+			fmt.Printf("audit deadline hit on %s after %d screens; reporting what completed\n", cfg.Package, len(audited))
+		}
+		for _, dets := range audited {
 			for _, d := range dets {
 				if d.Class == dataset.ClassUPO {
 					row.auiScreens++

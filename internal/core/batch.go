@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/render"
@@ -24,6 +26,17 @@ const DefaultAuditBatch = 8
 // path (yolite, the int8 port, the caching/NMS/timing decorators) get the
 // whole chunk in one call, everything else falls back to a per-item loop.
 func AuditScreens(p detect.Predictor, shots []*render.Canvas, confThresh float64, batchSize int) [][]metrics.Detection {
+	out, _ := AuditScreensCtx(context.Background(), p, shots, confThresh, batchSize)
+	return out
+}
+
+// AuditScreensCtx is AuditScreens with cooperative cancellation: the context
+// is checked between chunks and threaded into each chunk's forward, so a
+// cancelled audit stops within roughly one conv layer instead of finishing
+// the catalogue. On cancel it returns ctx.Err() along with the screens fully
+// audited so far — partial results are exactly what a deadline-bounded audit
+// wants to keep. A Background context is exactly AuditScreens.
+func AuditScreensCtx(ctx context.Context, p detect.Predictor, shots []*render.Canvas, confThresh float64, batchSize int) ([][]metrics.Detection, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultAuditBatch
 	}
@@ -31,7 +44,11 @@ func AuditScreens(p detect.Predictor, shots []*render.Canvas, confThresh float64
 	for start := 0; start < len(shots); start += batchSize {
 		chunk := shots[start:min(start+batchSize, len(shots))]
 		x := yolite.CanvasesToTensor(chunk)
-		for i, dets := range detect.PredictBatch(p, x, confThresh) {
+		res, err := detect.PredictBatchCtx(ctx, p, x, confThresh)
+		if err != nil {
+			return out, err
+		}
+		for i, dets := range res {
 			sx := float64(chunk[i].W) / float64(yolite.InputW)
 			sy := float64(chunk[i].H) / float64(yolite.InputH)
 			for j := range dets {
@@ -40,5 +57,5 @@ func AuditScreens(p detect.Predictor, shots []*render.Canvas, confThresh float64
 			out = append(out, dets)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -13,7 +13,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/a11y"
@@ -79,6 +82,17 @@ type Config struct {
 	// CacheCapacity bounds the result cache (entries); zero means
 	// detect.DefaultCacheCapacity. Ignored unless CacheResults is set.
 	CacheCapacity int
+	// Deadline bounds one analysis cycle in wall-clock time (the simulation
+	// clock is virtual, but inference compute is real). When it expires the
+	// detector aborts within roughly one conv layer, the cycle is counted in
+	// Stats.TimedOut, and the act stage (decoration, observers, bypass) is
+	// skipped. Zero means no deadline.
+	Deadline time.Duration
+	// BaseContext, when non-nil, parents every per-analysis context, so an
+	// embedding application (the fleet simulator runs one service per
+	// device) can cancel a whole service's work at once. Nil means
+	// context.Background().
+	BaseContext context.Context
 }
 
 func (c Config) cutoff() time.Duration {
@@ -130,8 +144,14 @@ type Stats struct {
 	// Debounced counts callbacks that reset a pending ct timer (work
 	// avoided).
 	Debounced int
-	// Analyses counts screenshot+inference cycles.
+	// Analyses counts screenshot+inference cycles that completed.
 	Analyses int
+	// Superseded counts in-flight analyses cancelled before completion —
+	// by a fresh accessibility event (the screen changed under the
+	// detector, so the result would describe a stale UI) or by Stop.
+	Superseded int
+	// TimedOut counts in-flight analyses aborted by Config.Deadline.
+	TimedOut int
 	// AUIFlagged counts analyses that detected at least one option.
 	AUIFlagged int
 	// DecorationsDrawn counts decoration views added.
@@ -161,6 +181,12 @@ type Analysis struct {
 }
 
 // Service is the running DARPA instance.
+//
+// The accessibility callbacks and analysis cycles run on the simulation
+// clock's goroutine, but Stop and the read accessors are safe to call from
+// any goroutine: mu guards all mutable state, and no stage work runs under
+// it (so re-entrant events — a detector or observer emitting mid-cycle —
+// cannot deadlock).
 type Service struct {
 	cfg      Config
 	clock    *sim.Clock
@@ -168,13 +194,23 @@ type Service struct {
 	detector detect.Detector
 	timings  *perfmodel.Timings
 
+	mu          sync.Mutex
 	pending     *sim.Event
 	lastPkg     string
 	decorations []*uikit.Window
 	stats       Stats
 	log         []Analysis
 	stopped     bool
-	// OnAnalysis, when non-nil, observes each analysis as it happens.
+	// inflightCancel/inflightDone track the analysis cycle currently
+	// executing, if any: cancel aborts it cooperatively, done closes when it
+	// has fully unwound. They let a fresh event supersede stale work and let
+	// Stop guarantee nothing is still running when it returns.
+	inflightCancel context.CancelFunc
+	inflightDone   chan struct{}
+
+	// OnAnalysis, when non-nil, observes each analysis as it happens. Set it
+	// before events flow. Observers must not call Stop (Stop waits for the
+	// in-flight cycle, which would be the observer's own).
 	OnAnalysis func(Analysis)
 }
 
@@ -196,7 +232,11 @@ func Start(clock *sim.Clock, mgr *a11y.Manager, detector detect.Detector, cfg Co
 }
 
 // Stats returns a snapshot of the counters.
-func (s *Service) Stats() Stats { return s.stats }
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Timings returns the per-stage latency recorder. The recorder is live;
 // callers should treat it as read-only.
@@ -208,18 +248,33 @@ func (s *Service) Detector() detect.Detector { return s.detector }
 
 // Log returns every analysis performed so far.
 func (s *Service) Log() []Analysis {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Analysis, len(s.log))
 	copy(out, s.log)
 	return out
 }
 
-// Stop cancels pending work and removes any decoration overlays. The
-// registration itself stays (the simulated AS has no unregister, like a
-// disabled service that ignores callbacks).
+// Stop cancels pending work — including an analysis currently executing,
+// which aborts cooperatively within roughly one conv layer — waits for it to
+// unwind, and removes any decoration overlays. When Stop returns, no cycle
+// is running and none will start; a cycle cancelled mid-flight never reaches
+// the act stage, so it leaves no decorations behind. The registration itself
+// stays (the simulated AS has no unregister, like a disabled service that
+// ignores callbacks). Must not be called from an OnAnalysis observer.
 func (s *Service) Stop() {
+	s.mu.Lock()
 	s.stopped = true
 	if s.pending != nil {
 		s.pending.Cancel()
+	}
+	cancel, done := s.inflightCancel, s.inflightDone
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
 	}
 	s.clearDecorations()
 }
@@ -227,8 +282,13 @@ func (s *Service) Stop() {
 // onEvent is the accessibility callback (Fig. 5 step 2): every UI change
 // re-arms the ct timer, so analysis happens only once the UI has been quiet
 // for ct — the paper's insight that AUIs must stay on screen long enough to
-// be seen.
+// be seen. An event arriving while an analysis is executing also cancels
+// that analysis: the screen just changed under the detector, so its result
+// would describe a UI that no longer exists (the in-flight extension of the
+// same staleness argument).
 func (s *Service) onEvent(e a11y.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.stopped {
 		return
 	}
@@ -238,17 +298,76 @@ func (s *Service) onEvent(e a11y.Event) {
 		s.pending.Cancel()
 		s.stats.Debounced++
 	}
+	if s.inflightCancel != nil {
+		s.inflightCancel()
+	}
 	s.pending = s.clock.Schedule(s.cfg.cutoff(), s.analyze)
+}
+
+// beginAnalysis opens one analysis cycle: it builds the cycle's context
+// (parented on Config.BaseContext, bounded by Config.Deadline) and registers
+// it as the in-flight work that onEvent and Stop can cancel. The returned
+// finish must run when the cycle unwinds; ok is false when the service is
+// stopped.
+func (s *Service) beginAnalysis() (ctx context.Context, finish func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, nil, false
+	}
+	s.pending = nil
+	base := s.cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	var cancel context.CancelFunc
+	if d := s.cfg.Deadline; d > 0 {
+		ctx, cancel = context.WithTimeout(base, d)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	done := make(chan struct{})
+	s.inflightCancel = cancel
+	s.inflightDone = done
+	finish = func() {
+		s.mu.Lock()
+		if s.inflightDone == done {
+			s.inflightCancel = nil
+			s.inflightDone = nil
+		}
+		s.mu.Unlock()
+		cancel()
+		close(done)
+	}
+	return ctx, finish, true
+}
+
+// abandon accounts one cycle that did not complete: deadline expiries count
+// as TimedOut, every other cancellation (fresh event, Stop, a cancelled
+// BaseContext) as Superseded.
+func (s *Service) abandon(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.TimedOut++
+	} else {
+		s.stats.Superseded++
+	}
 }
 
 // analyze runs one detection cycle (Fig. 5 steps 3-5) as an explicit
 // pipeline: capture -> preprocess -> infer -> postprocess -> act. Each stage
-// is individually timed into Stats.Stages and the Timings recorder.
+// is individually timed into Stats.Stages and the Timings recorder. The
+// cycle runs under a per-analysis context: between stages (and, inside
+// inference, between conv layers) a cancel or deadline expiry aborts the
+// remaining work — in particular a cancelled cycle never reaches the act
+// stage, so stale detections are never drawn, reported, or clicked.
 func (s *Service) analyze() {
-	if s.stopped {
+	ctx, finish, ok := s.beginAnalysis()
+	if !ok {
 		return
 	}
-	s.pending = nil
+	defer finish()
 	// Remove previous decorations before the screenshot so they are not
 	// re-detected (Fig. 5, "remove its previous AUI decoration").
 	s.clearDecorations()
@@ -257,11 +376,32 @@ func (s *Service) analyze() {
 	}
 	shot := s.capture()
 	pre := s.preprocess(shot)
-	inf := s.infer(pre)
+	if err := ctx.Err(); err != nil {
+		s.abandon(err)
+		return
+	}
+	inf, err := s.infer(ctx, pre)
+	if err == nil {
+		// Catch a cancel that landed between inference finishing and now:
+		// the result is already stale.
+		err = ctx.Err()
+	}
+	if err != nil {
+		s.abandon(err)
+		return
+	}
+	s.mu.Lock()
 	s.stats.Analyses++
+	s.mu.Unlock()
 	post := s.postprocess(pre, inf)
+	if err := ctx.Err(); err != nil {
+		s.abandon(err)
+		return
+	}
+	s.mu.Lock()
 	rec := Analysis{At: s.clock.Now(), Package: s.lastPkg, Detections: post.Detections}
 	s.log = append(s.log, rec)
+	s.mu.Unlock()
 	s.act(rec, post)
 }
 
@@ -286,8 +426,10 @@ func (s *Service) decorate(p PostprocessResult) int {
 			col = s.cfg.upoColor()
 		}
 		w := s.mgr.AddOverlay("org.darpa.aui", frame, decorationView(frame, s.cfg.strokeWidth(), col))
+		s.mu.Lock()
 		s.decorations = append(s.decorations, w)
 		s.stats.DecorationsDrawn++
+		s.mu.Unlock()
 		added++
 	}
 	return added
@@ -325,23 +467,32 @@ func (s *Service) bypass(dets []metrics.Detection) int {
 	if len(upos) > 3 {
 		upos = upos[:3]
 	}
+	s.mu.Lock()
 	s.stats.Bypasses++
+	s.mu.Unlock()
 	for _, d := range upos {
 		s.mgr.DispatchClick(d.B.Rect().Center())
 	}
 	return len(upos)
 }
 
-// clearDecorations removes every decoration overlay.
+// clearDecorations removes every decoration overlay. The windows are
+// detached from the service under the lock, then removed from the manager
+// outside it (manager calls never run under mu).
 func (s *Service) clearDecorations() {
-	for _, w := range s.decorations {
+	s.mu.Lock()
+	ws := s.decorations
+	s.decorations = nil
+	s.mu.Unlock()
+	for _, w := range ws {
 		s.mgr.RemoveOverlay(w)
 	}
-	s.decorations = s.decorations[:0]
 }
 
 // Decorations returns the decoration overlay windows currently on screen.
 func (s *Service) Decorations() []*uikit.Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]*uikit.Window, len(s.decorations))
 	copy(out, s.decorations)
 	return out

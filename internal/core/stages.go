@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/render"
@@ -100,9 +102,11 @@ func (s *Service) stageStart(st Stage) func() {
 	begin := time.Now()
 	return func() {
 		d := time.Since(begin)
+		s.mu.Lock()
 		ss := &s.stats.Stages[st]
 		ss.Runs++
 		ss.Time += d
+		s.mu.Unlock()
 		s.timings.Observe(st.String(), d)
 	}
 }
@@ -121,7 +125,9 @@ func (s *Service) preprocess(c CaptureResult) PreprocessResult {
 	defer s.stageStart(StagePreprocess)()
 	x := yolite.CanvasToTensor(c.Shot)
 	c.Shot.Zero()
+	s.mu.Lock()
 	s.stats.Rinses++
+	s.mu.Unlock()
 	screen := s.mgr.Screen()
 	return PreprocessResult{
 		X:      x,
@@ -130,10 +136,16 @@ func (s *Service) preprocess(c CaptureResult) PreprocessResult {
 	}
 }
 
-// infer runs the detector backend on the prepared tensor.
-func (s *Service) infer(p PreprocessResult) InferResult {
+// infer runs the detector backend on the prepared tensor under the cycle's
+// context: a supersession or deadline expiry aborts the forward within
+// roughly one conv layer and surfaces as ctx.Err().
+func (s *Service) infer(ctx context.Context, p PreprocessResult) (InferResult, error) {
 	defer s.stageStart(StageInfer)()
-	return InferResult{Detections: s.detector.PredictTensor(p.X, 0, s.cfg.confThresh())}
+	dets, err := detect.Predict(ctx, s.detector, p.X, 0, s.cfg.confThresh())
+	if err != nil {
+		return InferResult{}, err
+	}
+	return InferResult{Detections: dets}, nil
 }
 
 // postprocess scales detections from model-input to screen coordinates and,
@@ -164,7 +176,9 @@ func (s *Service) act(rec Analysis, p PostprocessResult) ActResult {
 	defer s.stageStart(StageAct)()
 	var res ActResult
 	if len(p.Detections) > 0 {
+		s.mu.Lock()
 		s.stats.AUIFlagged++
+		s.mu.Unlock()
 		if s.cfg.mode() == ModeFull {
 			res.DecorationsAdded = s.decorate(p)
 		}

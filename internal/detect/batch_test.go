@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -43,7 +44,8 @@ func (s *batchStub) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metri
 
 // TestPredictBatchEquivalence is the tentpole's correctness contract: the
 // native batch paths of the float and int8 backends must return exactly what
-// a per-item PredictTensor loop returns, for every item.
+// a per-item PredictTensor loop returns, for every item — and the ctx-aware
+// seam on an uncancellable context must return exactly the same bits again.
 func TestPredictBatchEquivalence(t *testing.T) {
 	m := yolite.NewModel(3)
 	qm := quant.Port(m, nil)
@@ -59,11 +61,25 @@ func TestPredictBatchEquivalence(t *testing.T) {
 		if len(batched) != 4 {
 			t.Fatalf("%s: PredictBatch returned %d items, want 4", tc.name, len(batched))
 		}
+		ctxBatched, err := PredictBatchCtx(context.Background(), tc.p, x, 0.3)
+		if err != nil {
+			t.Fatalf("%s: PredictBatchCtx(Background) err = %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(ctxBatched, batched) {
+			t.Errorf("%s: ctx batch path diverged from legacy batch path", tc.name)
+		}
 		total := 0
 		for n := 0; n < 4; n++ {
 			loop := tc.p.PredictTensor(x, n, 0.3)
 			if !reflect.DeepEqual(batched[n], loop) {
 				t.Errorf("%s item %d: batch %v != per-item %v", tc.name, n, batched[n], loop)
+			}
+			ctxLoop, err := Predict(context.Background(), tc.p, x, n, 0.3)
+			if err != nil {
+				t.Fatalf("%s item %d: Predict(Background) err = %v", tc.name, n, err)
+			}
+			if !reflect.DeepEqual(ctxLoop, loop) {
+				t.Errorf("%s item %d: ctx path %v != legacy %v", tc.name, n, ctxLoop, loop)
 			}
 			total += len(loop)
 		}

@@ -41,6 +41,33 @@ var (
 	_ BatchPredictor = (*frauddroid.ViewAdapter)(nil)
 )
 
+// Backends with a native cancellation path. RCNN checkpoints between
+// proposal crops; the others between conv layers and output planes.
+var (
+	_ ContextPredictor = (*yolite.Model)(nil)
+	_ ContextPredictor = (*quant.Model)(nil)
+	_ ContextPredictor = (*rcnn.Model)(nil)
+	_ ContextPredictor = (*frauddroid.ViewAdapter)(nil)
+
+	_ ContextBatchPredictor = (*yolite.Model)(nil)
+	_ ContextBatchPredictor = (*quant.Model)(nil)
+	_ ContextBatchPredictor = (*frauddroid.ViewAdapter)(nil)
+)
+
+// The middleware stack preserves both ctx seams end-to-end.
+var (
+	_ ContextPredictor      = named{}
+	_ ContextPredictor      = floorDetector{}
+	_ ContextPredictor      = nmsDetector{}
+	_ ContextPredictor      = (*Timed)(nil)
+	_ ContextPredictor      = (*Cache)(nil)
+	_ ContextBatchPredictor = named{}
+	_ ContextBatchPredictor = floorDetector{}
+	_ ContextBatchPredictor = nmsDetector{}
+	_ ContextBatchPredictor = (*Timed)(nil)
+	_ ContextBatchPredictor = (*Cache)(nil)
+)
+
 // weightsPath maps a registry name to its weight file ("yolite-masked" →
 // "yolite_masked.gob", matching the files cmd/darpa-train writes).
 func weightsPath(dir, name string) string {

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"hash/maphash"
 	"math"
 	"math/bits"
@@ -260,6 +261,31 @@ func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 	return dets
 }
 
+// PredictTensorCtx is the ctx-aware lookup: an already-dead context is
+// rejected before even hashing the pixels, a hit is answered immediately
+// (hits cost microseconds — not worth a cancellation point), and a miss runs
+// the inner detector with the context. A cancelled inner call propagates its
+// error and stores nothing, so aborted partial results never poison the
+// memo.
+func (c *Cache) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key, ok := cacheKey(x, n, confThresh)
+	if !ok {
+		return Predict(ctx, c.inner, x, n, confThresh)
+	}
+	if dets, hit := c.lookup(key); hit {
+		return dets, nil
+	}
+	dets, err := Predict(ctx, c.inner, x, n, confThresh)
+	if err != nil {
+		return nil, err
+	}
+	c.store(key, dets)
+	return dets, nil
+}
+
 // PredictBatch answers hit items from the memo and forwards only the
 // compacted miss sub-batch to the inner detector, so an audit batch pays
 // inference only for content the cache has not seen. Duplicate screens
@@ -268,8 +294,27 @@ func (c *Cache) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 // duplicate is a miss, though only its first occurrence reaches the
 // backend).
 func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
+	out, _ := c.predictBatch(context.Background(), x, confThresh)
+	return out
+}
+
+// PredictBatchCtx is the ctx-aware batch path: hits are answered from the
+// memo as usual, and only the compacted miss sub-batch carries the context
+// into the inner detector. A cancelled inner call propagates its error and
+// stores nothing (misses already counted stay counted — the lookup did
+// happen).
+func (c *Cache) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.predictBatch(ctx, x, confThresh)
+}
+
+// predictBatch is the shared batch flow behind PredictBatch (Background
+// context, error impossible) and PredictBatchCtx.
+func (c *Cache) predictBatch(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
 	if x == nil || len(x.Shape) == 0 {
-		return nil
+		return nil, nil
 	}
 	n := x.Shape[0]
 	keys := make([]uint64, n)
@@ -277,7 +322,7 @@ func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 		key, ok := cacheKey(x, i, confThresh)
 		if !ok {
 			// Malformed batch: bypass the cache entirely.
-			return PredictBatch(c.inner, x, confThresh)
+			return PredictBatchCtx(ctx, c.inner, x, confThresh)
 		}
 		keys[i] = key
 	}
@@ -301,7 +346,7 @@ func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 		missItems = append(missItems, i)
 	}
 	if len(missItems) == 0 {
-		return out
+		return out, nil
 	}
 	sub := x
 	if len(missItems) != n {
@@ -314,7 +359,10 @@ func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 			copy(sub.Data[j*per:(j+1)*per], x.Data[i*per:(i+1)*per])
 		}
 	}
-	res := PredictBatch(c.inner, sub, confThresh)
+	res, err := PredictBatchCtx(ctx, c.inner, sub, confThresh)
+	if err != nil {
+		return nil, err
+	}
 	for j, i := range missItems {
 		c.store(keys[i], res[j])
 	}
@@ -330,7 +378,7 @@ func (c *Cache) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 			out[i] = append([]metrics.Detection(nil), res[j]...)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (s *cacheShard) addMiss() {

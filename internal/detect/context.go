@@ -1,0 +1,78 @@
+package detect
+
+import (
+	"context"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// ContextPredictor is the cancellation-aware inference surface. A cancelled
+// or expired ctx makes the call return ctx.Err() promptly — the conv
+// backends abort within roughly one layer — with no detections. A context
+// that can never be cancelled (Background, TODO) must produce output
+// bit-identical to the legacy PredictTensor, which is how the equivalence
+// tests pin the refactor.
+type ContextPredictor interface {
+	PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error)
+}
+
+// ContextBatchPredictor is the batched counterpart of ContextPredictor.
+type ContextBatchPredictor interface {
+	PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error)
+}
+
+// Predict is the ctx-aware entry point of the detector seam: backends and
+// middleware implementing ContextPredictor get the context natively;
+// everything else runs the legacy PredictTensor bracketed by Err checks, so
+// an already-dead context never starts an inference and a cancel during one
+// is at least reported (the work itself is not interruptible without backend
+// support). This is the seam the pipeline and the serving layer call, so a
+// stack stays cancellable end-to-end as long as its innermost expensive
+// backend cooperates.
+func Predict(ctx context.Context, p Predictor, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	if cp, ok := p.(ContextPredictor); ok {
+		return cp.PredictTensorCtx(ctx, x, n, confThresh)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dets := p.PredictTensor(x, n, confThresh)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return dets, nil
+}
+
+// PredictBatchCtx is the ctx-aware counterpart of PredictBatch: a native
+// ContextBatchPredictor gets the context, a plain BatchPredictor runs
+// bracketed by Err checks, and the per-item fallback loop checks the context
+// between items. Results on an uncancellable context are bit-identical to
+// PredictBatch.
+func PredictBatchCtx(ctx context.Context, p Predictor, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	if x == nil || len(x.Shape) == 0 {
+		return nil, ctx.Err()
+	}
+	if cbp, ok := p.(ContextBatchPredictor); ok {
+		return cbp.PredictBatchCtx(ctx, x, confThresh)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if bp, ok := p.(BatchPredictor); ok {
+		out := bp.PredictBatch(x, confThresh)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		dets, err := Predict(ctx, p, x, i, confThresh)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dets
+	}
+	return out, nil
+}

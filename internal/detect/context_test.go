@@ -1,0 +1,280 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// errCtxStub is a ctx-aware stub whose ctx paths fail with err (when set);
+// the legacy paths always succeed. It stands in for a backend whose forward
+// was aborted mid-flight.
+type errCtxStub struct {
+	stubDetector
+	err      error
+	ctxCalls int
+}
+
+func (s *errCtxStub) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	s.ctxCalls++
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.PredictTensor(x, n, confThresh), nil
+}
+
+func (s *errCtxStub) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	s.ctxCalls++
+	if s.err != nil {
+		return nil, s.err
+	}
+	return PredictBatch(&s.stubDetector, x, confThresh), nil
+}
+
+// cancellableCtx returns a context whose Done channel is non-nil but which is
+// never cancelled during the test — the shape that exercises the cancellable
+// forward paths without aborting them.
+func cancellableCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestPredictCtxPrechecksDeadContext: an already-cancelled context must never
+// start an inference, whatever the backend supports.
+func TestPredictCtxPrechecksDeadContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}
+	if _, err := Predict(ctx, s, randomBatch(1, 1), 0, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict on dead ctx: err = %v, want Canceled", err)
+	}
+	if _, err := PredictBatchCtx(ctx, s, randomBatch(2, 1), 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictBatchCtx on dead ctx: err = %v, want Canceled", err)
+	}
+	if s.calls != 0 {
+		t.Fatalf("dead ctx still reached the backend %d times", s.calls)
+	}
+}
+
+// TestPredictCtxCancellableEquivalence pins the cancellable forward paths
+// bit-identical to the legacy ones: a context that *can* be cancelled (so the
+// checkpointed forwardCancel code runs) but never is must not change a single
+// output bit for either tensor backend, pooled, single and batched.
+func TestPredictCtxCancellableEquivalence(t *testing.T) {
+	plain := yolite.NewModel(3)
+	qplain := quant.Port(plain, nil)
+	m := yolite.NewModel(3)
+	m.Pool = tensor.NewPool()
+	qm := quant.Port(m, nil)
+	x := randomBatch(4, 42)
+	ctx := cancellableCtx(t)
+	for _, tc := range []struct {
+		name          string
+		legacy, under Predictor
+	}{
+		{"yolite", plain, m},
+		{"yolite-int8", qplain, qm},
+	} {
+		total := 0
+		for round := 0; round < 2; round++ { // round 2 runs on recycled buffers
+			for n := 0; n < 4; n++ {
+				want := tc.legacy.PredictTensor(x, n, 0.3)
+				got, err := Predict(ctx, tc.under, x, n, 0.3)
+				if err != nil {
+					t.Fatalf("%s item %d: err = %v", tc.name, n, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s item %d round %d: cancellable path diverged", tc.name, n, round)
+				}
+				total += len(want)
+			}
+			gotB, err := PredictBatchCtx(ctx, tc.under, x, 0.3)
+			if err != nil {
+				t.Fatalf("%s: batch err = %v", tc.name, err)
+			}
+			if !reflect.DeepEqual(gotB, PredictBatch(tc.legacy, x, 0.3)) {
+				t.Errorf("%s round %d: cancellable batch path diverged", tc.name, round)
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s: equivalence vacuous, no detections produced", tc.name)
+		}
+	}
+}
+
+// TestPredictCtxCancelMidForward: a cancel landing while the conv backbone is
+// running must surface as ctx.Err() promptly, and the aborted forwards must
+// not corrupt the activation pool — a later clean forward on the same model
+// still matches an unpooled reference.
+func TestPredictCtxCancelMidForward(t *testing.T) {
+	ref := yolite.NewModel(3)
+	qref := quant.Port(ref, nil)
+	m := yolite.NewModel(3)
+	m.Pool = tensor.NewPool()
+	qm := quant.Port(m, nil)
+	x := randomBatch(1, 7)
+	for _, tc := range []struct {
+		name          string
+		legacy, under Predictor
+	}{
+		{"yolite", ref, m},
+		{"yolite-int8", qref, qm},
+	} {
+		aborted := 0
+		for attempt := 0; attempt < 50 && aborted == 0; attempt++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(time.Duration(attempt+1)*100*time.Microsecond, cancel)
+			_, err := Predict(ctx, tc.under, x, 0, 0.3)
+			timer.Stop()
+			cancel()
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("%s: aborted forward returned %v, want Canceled", tc.name, err)
+				}
+				aborted++
+			}
+		}
+		if aborted == 0 {
+			t.Errorf("%s: no attempt aborted mid-forward", tc.name)
+		}
+		// Pool integrity after aborts: clean forward still bit-identical.
+		got, err := Predict(context.Background(), tc.under, x, 0, 0.3)
+		if err != nil {
+			t.Fatalf("%s: post-abort forward err = %v", tc.name, err)
+		}
+		if want := tc.legacy.PredictTensor(x, 0, 0.3); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: post-abort forward diverged — aborted cycles corrupted the pool", tc.name)
+		}
+	}
+}
+
+// TestMiddlewareCtxPath: the confidence floor and NMS must keep working on
+// the ctx-aware path, including across the fallback bracketing for inners
+// that are not ctx-aware themselves.
+func TestMiddlewareCtxPath(t *testing.T) {
+	s := &batchStub{stubDetector: stubDetector{dets: []metrics.Detection{
+		det(10, 10, 8, 8, 0.9),
+		det(11, 10, 8, 8, 0.7), // near-duplicate, NMS fodder
+	}}}
+	d := WithNMS(WithConfidenceFloor(s, 0.8), 0.5)
+	ctx := cancellableCtx(t)
+	dets, err := Predict(ctx, d, randomBatch(1, 1), 0, 0.45)
+	if err != nil {
+		t.Fatalf("Predict err = %v", err)
+	}
+	if s.lastThresh != 0.8 {
+		t.Fatalf("floor not applied on the ctx path: thresh %v", s.lastThresh)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("NMS on the ctx path kept %d detections, want 1", len(dets))
+	}
+	out, err := PredictBatchCtx(ctx, d, randomBatch(2, 1), 0.45)
+	if err != nil {
+		t.Fatalf("PredictBatchCtx err = %v", err)
+	}
+	if len(s.batchSizes) != 1 || s.batchSizes[0] != 2 {
+		t.Fatalf("ctx middleware broke the native batch hand-off: %v", s.batchSizes)
+	}
+	for i, dets := range out {
+		if len(dets) != 1 {
+			t.Fatalf("item %d: NMS kept %d detections, want 1", i, len(dets))
+		}
+	}
+}
+
+// TestTimedCtxRecordsAborted: aborted calls must land under their own
+// "-aborted" stage so the main latency distribution stays clean.
+func TestTimedCtxRecordsAborted(t *testing.T) {
+	rec := &perfmodel.Timings{}
+	s := &errCtxStub{err: context.Canceled}
+	d := WithTiming(s, rec, "infer")
+	ctx := cancellableCtx(t)
+	if _, err := d.PredictTensorCtx(ctx, randomBatch(1, 1), 0, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if _, err := d.PredictBatchCtx(ctx, randomBatch(2, 1), 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want Canceled", err)
+	}
+	snap := rec.Snapshot()
+	if snap["infer-aborted"].Count != 2 {
+		t.Fatalf("infer-aborted count = %d, want 2", snap["infer-aborted"].Count)
+	}
+	if snap["infer"].Count != 0 {
+		t.Fatalf("aborted calls leaked into the main stage: count = %d", snap["infer"].Count)
+	}
+	// Successful ctx calls record under the main stage.
+	s.err = nil
+	if _, err := d.PredictTensorCtx(ctx, randomBatch(1, 1), 0, 0.45); err != nil {
+		t.Fatalf("success err = %v", err)
+	}
+	if got := rec.Snapshot()["infer"].Count; got != 1 {
+		t.Fatalf("successful ctx call recorded count = %d, want 1", got)
+	}
+}
+
+// TestCacheCtxErrorNotStored: a miss whose inner forward aborts must not
+// memoise the error — the next caller gets a real inference, and a later
+// success is cached normally.
+func TestCacheCtxErrorNotStored(t *testing.T) {
+	s := &errCtxStub{stubDetector: stubDetector{dets: []metrics.Detection{det(10, 10, 8, 8, 0.9)}}, err: context.Canceled}
+	c := WithResultCache(s, 8)
+	ctx := cancellableCtx(t)
+	x := randomBatch(2, 3)
+	if _, err := c.PredictTensorCtx(ctx, x, 0, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if _, err := c.PredictBatchCtx(ctx, x, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want Canceled", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("aborted results were stored: Len = %d", c.Len())
+	}
+	// Once the backend succeeds, the same keys memoise as usual.
+	s.err = nil
+	if _, err := c.PredictTensorCtx(ctx, x, 0, 0.45); err != nil {
+		t.Fatalf("success err = %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after success = %d, want 1", c.Len())
+	}
+	hits := c.Hits()
+	if _, err := c.PredictTensorCtx(ctx, x, 0, 0.45); err != nil {
+		t.Fatalf("hit err = %v", err)
+	}
+	if c.Hits() != hits+1 {
+		t.Fatalf("repeat ctx lookup did not hit: hits %d -> %d", hits, c.Hits())
+	}
+}
+
+// TestCacheStatsBeforeTraffic: the observability accessors must be safe on a
+// fresh cache — Len 0, a 0/0-guarded HitRate, and PublishStats that tolerates
+// both a nil recorder and a zero-traffic cache.
+func TestCacheStatsBeforeTraffic(t *testing.T) {
+	c := WithResultCache(&stubDetector{}, 8)
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache Len = %d", c.Len())
+	}
+	if got := c.HitRate(); got != 0 {
+		t.Fatalf("fresh cache HitRate = %v, want 0 (no NaN)", got)
+	}
+	c.PublishStats(nil) // must not panic
+	rec := &perfmodel.Timings{}
+	c.PublishStats(rec) // zero traffic: publishes nothing, panics never
+	if snap := rec.Snapshot(); snap["cache-hit"].Count != 0 || snap["cache-miss"].Count != 0 {
+		t.Fatalf("zero-traffic publish recorded %+v", snap)
+	}
+	c.PredictTensor(randomBatch(1, 5), 0, 0.45)
+	if c.Len() != 1 {
+		t.Fatalf("Len after one miss = %d, want 1", c.Len())
+	}
+}

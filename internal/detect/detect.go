@@ -13,6 +13,8 @@
 package detect
 
 import (
+	"context"
+
 	"repro/internal/metrics"
 	"repro/internal/render"
 	"repro/internal/tensor"
@@ -45,6 +47,16 @@ func (n named) Name() string { return n.name }
 // Predictor's native batch path is used when it has one.
 func (n named) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
 	return PredictBatch(n.Predictor, x, confThresh)
+}
+
+// PredictTensorCtx keeps the ctx seam intact through the rename.
+func (n named) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, nItem int, confThresh float64) ([]metrics.Detection, error) {
+	return Predict(ctx, n.Predictor, x, nItem, confThresh)
+}
+
+// PredictBatchCtx keeps the batched ctx seam intact through the rename.
+func (n named) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	return PredictBatchCtx(ctx, n.Predictor, x, confThresh)
 }
 
 // Named attaches a name to a Predictor, turning it into a Detector.

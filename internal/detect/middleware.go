@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -41,6 +42,16 @@ func (f floorDetector) PredictBatch(x *tensor.Tensor, confThresh float64) [][]me
 	return PredictBatch(f.inner, x, math.Max(confThresh, f.floor))
 }
 
+// PredictTensorCtx applies the floor and forwards the context.
+func (f floorDetector) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	return Predict(ctx, f.inner, x, n, math.Max(confThresh, f.floor))
+}
+
+// PredictBatchCtx applies the floor once and forwards context and batch.
+func (f floorDetector) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	return PredictBatchCtx(ctx, f.inner, x, math.Max(confThresh, f.floor))
+}
+
 // nmsDetector applies class-aware non-maximum suppression to the inner
 // detector's output, for backends that do not already suppress duplicates.
 type nmsDetector struct {
@@ -67,6 +78,28 @@ func (m nmsDetector) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metr
 		out[i] = metrics.NMS(out[i], m.iou)
 	}
 	return out
+}
+
+// PredictTensorCtx suppresses duplicates on the ctx-aware path; a cancelled
+// inner call propagates its error with nothing to suppress.
+func (m nmsDetector) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	dets, err := Predict(ctx, m.inner, x, n, confThresh)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.NMS(dets, m.iou), nil
+}
+
+// PredictBatchCtx mirrors PredictBatch on the ctx-aware path.
+func (m nmsDetector) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	out, err := PredictBatchCtx(ctx, m.inner, x, confThresh)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] = metrics.NMS(out[i], m.iou)
+	}
+	return out, nil
 }
 
 // Timed reports every inference's wall-clock latency into a
@@ -107,4 +140,31 @@ func (t *Timed) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.D
 	out := PredictBatch(t.inner, x, confThresh)
 	t.rec.ObserveBatch(t.stage, time.Since(start), len(out))
 	return out
+}
+
+// PredictTensorCtx delegates with the context, recording completed calls
+// under the stage label and aborted ones under "<stage>-aborted", so
+// cancelled partials never skew the inference latency distribution.
+func (t *Timed) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	start := time.Now()
+	dets, err := Predict(ctx, t.inner, x, n, confThresh)
+	if err != nil {
+		t.rec.Observe(t.stage+"-aborted", time.Since(start))
+		return nil, err
+	}
+	t.rec.Observe(t.stage, time.Since(start))
+	return dets, nil
+}
+
+// PredictBatchCtx mirrors PredictBatch's amortised accounting on the
+// ctx-aware path, with aborted batches recorded like PredictTensorCtx.
+func (t *Timed) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	start := time.Now()
+	out, err := PredictBatchCtx(ctx, t.inner, x, confThresh)
+	if err != nil {
+		t.rec.Observe(t.stage+"-aborted", time.Since(start))
+		return nil, err
+	}
+	t.rec.ObserveBatch(t.stage, time.Since(start), len(out))
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package frauddroid
 
 import (
+	"context"
+
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/metrics"
@@ -54,6 +56,24 @@ func (a *ViewAdapter) PredictBatch(x *tensor.Tensor, _ float64) [][]metrics.Dete
 	out := make([][]metrics.Detection, x.Shape[0])
 	out[0] = a.detectLive(x)
 	return out
+}
+
+// PredictTensorCtx implements the ctx-aware detector seam. The heuristic is
+// cheap enough that no mid-run checkpoint is worth having; the method only
+// honours an already-cancelled context and otherwise defers to PredictTensor.
+func (a *ViewAdapter) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) ([]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.PredictTensor(x, n, conf), nil
+}
+
+// PredictBatchCtx mirrors PredictTensorCtx for the batch seam.
+func (a *ViewAdapter) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) ([][]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.PredictBatch(x, conf), nil
 }
 
 // detectLive runs the heuristics on the current screen and scales the

@@ -50,6 +50,32 @@ func (s *Sequential) ForwardPooled(x *tensor.Tensor, p *tensor.Pool) *tensor.Ten
 	return cur
 }
 
+// ForwardCancel is ForwardPooled with a cooperative cancellation point
+// after every layer: once done closes, no further layer runs, intermediates
+// already drawn from the pool are returned to it, and the call yields nil
+// for the caller to discard (Pool.Put(nil) is a no-op, so unconditional
+// cleanup stays simple). Cancel-aware layers (the convolutions) additionally
+// poll done between output planes, so an abort lands within roughly one conv
+// layer of the cancel. The input x is never pooled. A nil done is exactly
+// ForwardPooled.
+func (s *Sequential) ForwardCancel(x *tensor.Tensor, p *tensor.Pool, done <-chan struct{}) *tensor.Tensor {
+	cur := x
+	for _, l := range s.Layers {
+		if tensor.Aborted(done) {
+			if cur != x {
+				p.Put(cur)
+			}
+			return nil
+		}
+		y := tensor.InferCancel(l, cur, p, done)
+		if cur != x {
+			p.Put(cur)
+		}
+		cur = y
+	}
+	return cur
+}
+
 // Backward runs the stack in reverse.
 func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {

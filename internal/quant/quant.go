@@ -11,6 +11,7 @@
 package quant
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -90,8 +91,10 @@ func (q *qconv) quantiseWeights() {
 // planes are spread over the shared worker pool when the work justifies it,
 // so batched device inference scales with GOMAXPROCS. A non-nil p supplies
 // the output buffer and the int8 scratch, making the steady-state forward
-// allocation-free.
-func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
+// allocation-free. A non-nil done adds a cooperative cancellation point
+// between output planes; once it closes the returned buffer is partially
+// written and the caller must discard it.
+func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool, done <-chan struct{}) *tensor.Tensor {
 	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if C != q.inC {
 		panic(fmt.Sprintf("quant: conv expects %d channels, got %d", q.inC, C))
@@ -113,10 +116,13 @@ func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool) *tensor.Tensor {
 	y := p.Get(N, q.outC, oh, ow) // nil pool: falls back to tensor.New
 	tasks := N * q.outC
 	if tensor.ParallelWorthwhile(tasks * oh * ow * q.inC * q.k * q.k) {
-		tensor.ParallelFor(tasks, func(t int) { q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC) })
+		tensor.ParallelForCancel(done, tasks, func(t int) { q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC) })
 		return y
 	}
 	for t := 0; t < tasks; t++ {
+		if tensor.Aborted(done) {
+			return y
+		}
 		q.forwardPlane(qx, x.Shape, y, t/q.outC, t%q.outC)
 	}
 	return y
@@ -314,27 +320,80 @@ func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 	p := qm.Pool
 	h := x
 	for _, b := range qm.blocks {
-		y := b.forward(h, p)
+		y := b.forward(h, p, nil)
 		if h != x {
 			p.Put(h)
 		}
 		h = y
 	}
-	upo = qm.upoHead.forward(h, p)
+	upo = qm.upoHead.forward(h, p, nil)
 	d := h
 	for _, b := range qm.deep {
-		y := b.forward(d, p)
+		y := b.forward(d, p, nil)
 		if d != x {
 			p.Put(d) // for the first deep block this releases the trunk,
 			// whose second consumer (the UPO head) has already run
 		}
 		d = y
 	}
-	ago = qm.agoHead.forward(d, p)
+	ago = qm.agoHead.forward(d, p, nil)
 	if d != x {
 		p.Put(d)
 	}
 	return upo, ago
+}
+
+// forwardCancel mirrors Forward with a cooperative cancellation checkpoint
+// between layers (and, via the done channel, between output planes inside
+// each layer). It returns ctx.Err() as soon as the cancel is observed,
+// parking any partially written activations back in the pool. Only called
+// with a cancellable context — the Background path stays on Forward.
+func (qm *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *tensor.Tensor, err error) {
+	p := qm.Pool
+	done := ctx.Done()
+	h := x
+	for _, b := range qm.blocks {
+		y := b.forward(h, p, done)
+		if h != x {
+			p.Put(h)
+		}
+		h = y
+		if err := ctx.Err(); err != nil {
+			p.Put(h)
+			return nil, nil, err
+		}
+	}
+	upo = qm.upoHead.forward(h, p, done)
+	if err := ctx.Err(); err != nil {
+		if h != x {
+			p.Put(h)
+		}
+		p.Put(upo)
+		return nil, nil, err
+	}
+	d := h
+	for _, b := range qm.deep {
+		y := b.forward(d, p, done)
+		if d != x {
+			p.Put(d)
+		}
+		d = y
+		if err := ctx.Err(); err != nil {
+			p.Put(d)
+			p.Put(upo)
+			return nil, nil, err
+		}
+	}
+	ago = qm.agoHead.forward(d, p, done)
+	if d != x {
+		p.Put(d)
+	}
+	if err := ctx.Err(); err != nil {
+		p.Put(upo)
+		p.Put(ago)
+		return nil, nil, err
+	}
+	return upo, ago, nil
 }
 
 // PredictTensor implements yolite.Predictor with int8 inference. Like the
@@ -361,6 +420,56 @@ func (qm *Model) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.
 	qm.Pool.Put(upo)
 	qm.Pool.Put(ago)
 	return out
+}
+
+// PredictTensorCtx is PredictTensor with cooperative cancellation: a
+// cancelled or expired ctx aborts the int8 forward within roughly one conv
+// layer and returns ctx.Err(). A context that can never be cancelled
+// (Background, TODO) takes the exact PredictTensor path, keeping results
+// bit-identical to the legacy API.
+func (qm *Model) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	if ctx.Done() == nil {
+		return qm.PredictTensor(x, n, confThresh), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	upo, ago, err := qm.forwardCancel(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	dets := qm.decodeItem(x, upo, ago, n, confThresh)
+	qm.Pool.Put(upo)
+	qm.Pool.Put(ago)
+	return dets, nil
+}
+
+// PredictBatchCtx is PredictBatch with cooperative cancellation, with an
+// extra checkpoint between per-item decodes. The Background path is exactly
+// PredictBatch.
+func (qm *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	if ctx.Done() == nil {
+		return qm.PredictBatch(x, confThresh), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	upo, ago, err := qm.forwardCancel(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for n := range out {
+		if err := ctx.Err(); err != nil {
+			qm.Pool.Put(upo)
+			qm.Pool.Put(ago)
+			return nil, err
+		}
+		out[n] = qm.decodeItem(x, upo, ago, n, confThresh)
+	}
+	qm.Pool.Put(upo)
+	qm.Pool.Put(ago)
+	return out, nil
 }
 
 // decodeItem turns the raw head maps for batch item n into final detections.

@@ -1,6 +1,7 @@
 package rcnn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -180,8 +181,30 @@ func lumaOf(c *render.Canvas) []float32 {
 
 // Predict runs the two-stage pipeline on a model-input-sized canvas.
 func (m *Model) Predict(c *render.Canvas, confThresh float64) []metrics.Detection {
+	dets, _ := m.predict(context.Background(), c, confThresh)
+	return dets
+}
+
+// PredictCtx is Predict with a cooperative cancellation checkpoint between
+// proposal crops — the natural granularity of a two-stage detector, where
+// each proposal costs a full (small) backbone forward. On cancel it returns
+// ctx.Err() and no detections.
+func (m *Model) PredictCtx(ctx context.Context, c *render.Canvas, confThresh float64) ([]metrics.Detection, error) {
+	return m.predict(ctx, c, confThresh)
+}
+
+// predict is the shared two-stage pipeline. A context that can never be
+// cancelled skips the per-proposal Err checks via the done==nil fast path in
+// aborted, so the Background path stays bit-identical and checkpoint free.
+func (m *Model) predict(ctx context.Context, c *render.Canvas, confThresh float64) ([]metrics.Detection, error) {
+	cancellable := ctx.Done() != nil
 	var dets []metrics.Detection
 	for _, r := range Propose(c) {
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cls, box := m.forward(crop(c, r), false)
 		probs := softmax(cls.Data)
 		bestCls, bestP := 0, probs[0]
@@ -206,13 +229,26 @@ func (m *Model) Predict(c *render.Canvas, confThresh float64) []metrics.Detectio
 			Score: bestP,
 		})
 	}
-	return metrics.NMS(dets, 0.2)
+	return metrics.NMS(dets, 0.2), nil
 }
 
 // PredictTensor implements yolite.Predictor. The two-stage pipeline needs
 // pixels, not tensors, so it reconstructs the canvas (n must index a single-
 // image tensor produced by yolite.CanvasToTensor).
 func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	return m.Predict(tensorItemToCanvas(x, n), confThresh)
+}
+
+// PredictTensorCtx is PredictTensor with cooperative cancellation between
+// proposal crops; see PredictCtx. The Background path is exactly
+// PredictTensor.
+func (m *Model) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	return m.predict(ctx, tensorItemToCanvas(x, n), confThresh)
+}
+
+// tensorItemToCanvas reconstructs batch item n of a yolite.CanvasToTensor
+// tensor as a canvas.
+func tensorItemToCanvas(x *tensor.Tensor, n int) *render.Canvas {
 	c := render.NewCanvas(yolite.InputW, yolite.InputH)
 	plane := yolite.InputH * yolite.InputW
 	base := n * 3 * plane
@@ -227,7 +263,7 @@ func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 			})
 		}
 	}
-	return m.Predict(c, confThresh)
+	return c
 }
 
 var _ yolite.Predictor = (*Model)(nil)

@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -44,12 +45,20 @@ type Options struct {
 }
 
 // request is one in-flight Predict call: batch item n of tensor x, answered
-// on resp.
+// on resp. ctx is never nil — the legacy entry points enqueue Background.
 type request struct {
+	ctx  context.Context
 	x    *tensor.Tensor
 	n    int
 	conf float64
-	resp chan []metrics.Detection
+	resp chan response
+}
+
+// response answers one request: detections on success, the request
+// context's error when it was cancelled or expired before the forward ran.
+type response struct {
+	dets []metrics.Detection
+	err  error
 }
 
 // Stats is a point-in-time snapshot of scheduler activity.
@@ -58,6 +67,7 @@ type Stats struct {
 	Items         int // requests served through the scheduler
 	MaxBatchSize  int // largest coalesced forward
 	MaxQueueDepth int // most requests seen waiting after a collection
+	Cancelled     int // requests pruned at batch formation (ctx dead in queue)
 }
 
 // Batcher coalesces concurrent Predict requests into batched forwards. It
@@ -83,6 +93,14 @@ type Batcher struct {
 	statsMu sync.Mutex
 	stats   Stats
 }
+
+// The scheduler drops into every seam a backend fits.
+var (
+	_ detect.Detector              = (*Batcher)(nil)
+	_ detect.BatchPredictor        = (*Batcher)(nil)
+	_ detect.ContextPredictor      = (*Batcher)(nil)
+	_ detect.ContextBatchPredictor = (*Batcher)(nil)
+)
 
 // NewBatcher starts the scheduler goroutine over inner. Callers own the
 // returned Batcher and should Close it to stop the goroutine; requests
@@ -148,18 +166,53 @@ func (b *Batcher) Close() {
 // arithmetic is per-item independent (the invariant TestPredictBatchEquivalence
 // pins down).
 func (b *Batcher) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []metrics.Detection {
+	dets, _ := b.PredictTensorCtx(context.Background(), x, n, confThresh)
+	return dets
+}
+
+// PredictTensorCtx submits one screen with a per-request context. An
+// already-dead context is rejected before touching the queue; a context that
+// dies while the request is queued makes the caller return ctx.Err()
+// immediately (the scheduler prunes the abandoned request at batch formation
+// and never spends forward compute on it); a context that dies during the
+// forward still returns ctx.Err() promptly — the batch the request rode in
+// completes for its other members and the orphaned result is dropped into
+// the buffered response channel, so the scheduler never blocks on a caller
+// that left. A Background context is exactly the legacy PredictTensor.
+func (b *Batcher) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return b.inner.PredictTensor(x, n, confThresh)
+		return detect.Predict(ctx, b.inner, x, n, confThresh)
 	}
-	resp := make(chan []metrics.Detection, 1)
+	resp := make(chan response, 1)
+	req := request{ctx: ctx, x: x, n: n, conf: confThresh, resp: resp}
 	// Send under the read lock: Close cannot close reqs while any sender
 	// holds it, and the buffered channel plus the draining dispatcher keep
-	// the critical section short.
-	b.reqs <- request{x: x, n: n, conf: confThresh, resp: resp}
-	b.mu.RUnlock()
-	return <-resp
+	// the critical section short. A cancellable caller stops waiting for
+	// queue space the moment its context dies.
+	if ctx.Done() == nil {
+		b.reqs <- req
+		b.mu.RUnlock()
+		r := <-resp
+		return r.dets, r.err
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-resp:
+		return r.dets, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // PredictBatch forwards an already-batched tensor directly: it is a batch,
@@ -167,6 +220,12 @@ func (b *Batcher) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []m
 // add latency.
 func (b *Batcher) PredictBatch(x *tensor.Tensor, confThresh float64) [][]metrics.Detection {
 	return detect.PredictBatch(b.inner, x, confThresh)
+}
+
+// PredictBatchCtx forwards an already-batched tensor directly with its
+// context; like PredictBatch there is nothing to coalesce.
+func (b *Batcher) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	return detect.PredictBatchCtx(ctx, b.inner, x, confThresh)
 }
 
 // dispatch is the scheduler loop: block for the first request, then collect
@@ -214,11 +273,29 @@ func (b *Batcher) noteCollected(size, depth int) {
 	b.rec.AddItems("serve-queued", depth)
 }
 
-// flush answers every request in batch. Requests are grouped by confidence
-// threshold and item shape — a batched forward carries one threshold, and
-// heterogeneous screens cannot share a tensor — then each group runs as one
-// PredictBatch. Single-request groups skip the copy and run directly.
+// flush answers every request in batch. Requests whose context died while
+// they waited are pruned first — their callers have already returned (or are
+// about to), so spending forward compute on them is pure waste; each is
+// answered with its ctx.Err() into its buffered channel. Survivors are
+// grouped by confidence threshold and item shape — a batched forward carries
+// one threshold, and heterogeneous screens cannot share a tensor — then each
+// group runs as one PredictBatch. Single-request groups skip the copy and
+// run directly.
 func (b *Batcher) flush(batch []request) {
+	live := batch[:0]
+	pruned := 0
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- response{err: err}
+			pruned++
+			continue
+		}
+		live = append(live, r)
+	}
+	if pruned > 0 {
+		b.notePruned(pruned)
+	}
+	batch = live
 	for len(batch) > 0 {
 		// group gets its own array: the in-place tail filter below reuses
 		// batch's backing array, which an aliased append would clobber.
@@ -257,7 +334,7 @@ func (b *Batcher) runGroup(group []request) {
 	start := time.Now()
 	if len(group) == 1 {
 		r := group[0]
-		r.resp <- b.inner.PredictTensor(r.x, r.n, r.conf)
+		r.resp <- response{dets: b.inner.PredictTensor(r.x, r.n, r.conf)}
 		b.noteBatch(time.Since(start), 1)
 		return
 	}
@@ -272,9 +349,18 @@ func (b *Batcher) runGroup(group []request) {
 	}
 	res := detect.PredictBatch(b.inner, sub, group[0].conf)
 	for j, r := range group {
-		r.resp <- res[j]
+		r.resp <- response{dets: res[j]}
 	}
 	b.noteBatch(time.Since(start), len(group))
+}
+
+// notePruned records requests dropped at batch formation because their
+// context had already been cancelled or had expired.
+func (b *Batcher) notePruned(n int) {
+	b.statsMu.Lock()
+	b.stats.Cancelled += n
+	b.statsMu.Unlock()
+	b.rec.AddItems("serve-cancelled", n)
 }
 
 // noteBatch records one flushed forward.

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perfmodel"
+)
+
+// TestBatcherOptionDefaults: zero and negative knobs must both land on the
+// documented defaults — a misconfigured scheduler should degrade to sane
+// batching, not a zero-size batch or a busy-looping timer.
+func TestBatcherOptionDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"zero", Options{}},
+		{"negative", Options{MaxBatch: -3, MaxDelay: -time.Second, QueueSize: -7}},
+	} {
+		b := NewBatcher(&stubBackend{}, tc.opts)
+		if b.maxBatch != DefaultMaxBatch {
+			t.Errorf("%s: maxBatch = %d, want %d", tc.name, b.maxBatch, DefaultMaxBatch)
+		}
+		if b.maxDelay != DefaultMaxDelay {
+			t.Errorf("%s: maxDelay = %v, want %v", tc.name, b.maxDelay, DefaultMaxDelay)
+		}
+		if got := cap(b.reqs); got != 4*DefaultMaxBatch {
+			t.Errorf("%s: queue cap = %d, want %d", tc.name, got, 4*DefaultMaxBatch)
+		}
+		b.Close()
+	}
+}
+
+// TestBatcherRejectsDeadContext: an already-cancelled request must be
+// answered with its ctx error before touching the queue or the backend.
+func TestBatcherRejectsDeadContext(t *testing.T) {
+	s := &stubBackend{}
+	b := NewBatcher(s, Options{})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dets, err := b.PredictTensorCtx(ctx, screen(1), 0, 0.45)
+	if !errors.Is(err, context.Canceled) || dets != nil {
+		t.Fatalf("dead ctx: dets=%v err=%v, want nil/Canceled", dets, err)
+	}
+	if s.calls != 0 {
+		t.Fatal("dead ctx reached the backend")
+	}
+	if st := b.Stats(); st.Items != 0 || st.Cancelled != 0 {
+		t.Fatalf("dead ctx touched the scheduler: %+v", st)
+	}
+}
+
+// TestBatcherPrunesCancelledQueued: a request whose context dies while it
+// waits in the queue must answer its caller immediately, be pruned at batch
+// formation without spending forward compute, and be counted in
+// Stats.Cancelled and the serve-cancelled stage.
+func TestBatcherPrunesCancelledQueued(t *testing.T) {
+	s := &stubBackend{gate: make(chan struct{})}
+	rec := &perfmodel.Timings{}
+	b := NewBatcher(s, Options{MaxBatch: 1, MaxDelay: time.Millisecond, Timings: rec})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the scheduler behind the gate
+		defer wg.Done()
+		b.PredictTensor(screen(0), 0, 0.45)
+	}()
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.calls == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 2)
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := b.PredictTensorCtx(ctx, screen(i), 0, 0.45)
+			errc <- err
+		}(i)
+	}
+	waitFor(t, func() bool { return len(b.reqs) == 2 }) // both queued behind the gate
+	cancel()
+	// Both callers return their ctx error without waiting for the gate.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("queued caller err = %v, want Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled caller still waiting on the scheduler")
+		}
+	}
+	close(s.gate)
+	wg.Wait()
+	b.Close()
+	if st := b.Stats(); st.Cancelled != 2 {
+		t.Fatalf("Stats.Cancelled = %d, want 2", st.Cancelled)
+	}
+	if got := rec.Stage("serve-cancelled").Count; got != 2 {
+		t.Fatalf("serve-cancelled count = %d, want 2", got)
+	}
+	// The backend only ever saw the one live request.
+	if sizes := s.sizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("backend saw forwards %v, want just [1] — pruned requests cost compute", sizes)
+	}
+}
+
+// TestBatcherCloseWithCancelledWaiters: Close while cancelled-ctx callers are
+// queued must drain cleanly — every caller answered, the dispatcher stopped,
+// and the Batcher still serving directly afterwards. A leaked dispatcher or
+// an unanswered waiter would hang this test.
+func TestBatcherCloseWithCancelledWaiters(t *testing.T) {
+	s := &stubBackend{gate: make(chan struct{})}
+	b := NewBatcher(s, Options{MaxBatch: 2, MaxDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dets, err := b.PredictTensorCtx(ctx, screen(i), 0, 0.45)
+			if err == nil && (len(dets) != 1 || dets[0].B.X != float64(i)) {
+				t.Errorf("caller %d: wrong result %v", i, dets)
+			}
+		}(i)
+	}
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.calls >= 1 })
+	cancel()
+	wg.Wait() // every caller returns promptly on its dead ctx, gate still held
+	close(s.gate)
+	b.Close()
+	// Post-Close the Batcher still serves directly, ctx honoured.
+	if _, err := b.PredictTensorCtx(ctx, screen(9), 0, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-Close dead-ctx call: err = %v", err)
+	}
+	dets, err := b.PredictTensorCtx(context.Background(), screen(9), 0, 0.45)
+	if err != nil || len(dets) != 1 || dets[0].B.X != 9 {
+		t.Fatalf("post-Close direct call: dets=%v err=%v", dets, err)
+	}
+}
+
+// TestBatcherDirectBatchCtx: the already-batched ctx entry point honours the
+// context and matches the legacy direct path.
+func TestBatcherDirectBatchCtx(t *testing.T) {
+	s := &stubBackend{}
+	b := NewBatcher(s, Options{})
+	defer b.Close()
+	x := screen(3)
+	out, err := b.PredictBatchCtx(context.Background(), x, 0.45)
+	if err != nil || len(out) != 1 || out[0][0].B.X != 3 {
+		t.Fatalf("Background direct batch: %v, err %v", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.PredictBatchCtx(ctx, x, 0.45); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-ctx direct batch err = %v, want Canceled", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -248,8 +249,30 @@ func TestBatcherEquivalenceRealModel(t *testing.T) {
 			}
 		}
 	}
-	if b.Stats().Items != 2*screens {
-		t.Fatalf("stats items = %d, want %d", b.Stats().Items, 2*screens)
+	// A cancellable per-request context that never fires must not change a
+	// bit either: the same screens ride the ctx entry point.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make([][]metrics.Detection, screens)
+	errs := make([]error, screens)
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = b.PredictTensorCtx(ctx, xs[i], 0, 0.3)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("ctx round screen %d: err = %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("ctx round screen %d: batched %v != direct %v", i, got[i], want[i])
+		}
+	}
+	if b.Stats().Items != 3*screens {
+		t.Fatalf("stats items = %d, want %d", b.Stats().Items, 3*screens)
 	}
 }
 

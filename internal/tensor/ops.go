@@ -58,35 +58,50 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		c.lastIn = x
 	}
-	c.forwardInto(x, y)
+	c.forwardInto(x, y, nil)
 	return y
 }
 
 // ForwardPooled is the inference-only forward: the output buffer comes from
 // p (contents fully overwritten) and no backward bookkeeping is recorded.
 func (c *Conv2D) ForwardPooled(x *Tensor, p *Pool) *Tensor {
+	return c.ForwardCancel(x, p, nil)
+}
+
+// ForwardCancel is the inference-only forward with a cooperative
+// cancellation hook: once done closes, no further output planes are started
+// and the call returns early. The returned tensor is then only partially
+// written — the caller must observe done itself and discard the buffer
+// (returning it to the pool is fine; pooled contents are dirty by contract).
+// A nil done is exactly ForwardPooled, and a nil pool allocates fresh.
+func (c *Conv2D) ForwardCancel(x *Tensor, p *Pool, done <-chan struct{}) *Tensor {
 	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if C != c.InC {
 		panic(fmt.Sprintf("tensor: conv expects %d input channels, got %d", c.InC, C))
 	}
 	OH, OW := c.OutSize(H, W)
 	y := p.Get(N, c.OutC, OH, OW)
-	c.forwardInto(x, y)
+	c.forwardInto(x, y, done)
 	return y
 }
 
 // forwardInto computes the convolution into the preallocated output y,
 // writing every element. Output planes are independent, so they run on the
-// shared worker pool when the flop count justifies it.
-func (c *Conv2D) forwardInto(x, y *Tensor) {
+// shared worker pool when the flop count justifies it. A non-nil done is
+// polled between planes — the convolution is the hot loop every cancellation
+// deadline ultimately bounds, and one plane is the checkpoint granularity.
+func (c *Conv2D) forwardInto(x, y *Tensor, done <-chan struct{}) {
 	N := x.Shape[0]
 	OH, OW := y.Shape[2], y.Shape[3]
 	tasks := N * c.OutC
 	if ParallelWorthwhile(tasks * OH * OW * c.InC * c.K * c.K) {
-		ParallelFor(tasks, func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) })
+		ParallelForCancel(done, tasks, func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) })
 		return
 	}
 	for t := 0; t < tasks; t++ {
+		if Aborted(done) {
+			return
+		}
 		c.forwardPlane(x, y, t/c.OutC, t%c.OutC)
 	}
 }

@@ -28,12 +28,41 @@ func ParallelWorthwhile(flops int) bool {
 // possibly concurrently. With a single processor (or a single task) the loop
 // runs inline on the caller, so serial configurations pay no overhead.
 func ParallelFor(n int, f func(int)) {
+	ParallelForCancel(nil, n, f)
+}
+
+// Aborted reports whether done is closed, without blocking. A nil done is
+// never aborted — it is the happy-path sentinel every cancellation-aware hot
+// loop branches on, so uncancellable callers pay a single nil check.
+func Aborted(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParallelForCancel is ParallelFor with a cooperative cancellation point
+// between tasks: once done closes, workers stop claiming new indices and the
+// call returns after in-flight tasks finish. Tasks already started are never
+// interrupted — the checkpoint granularity is one task, which for the conv
+// forwards means one (batch item, output channel) plane. Some indices may
+// never run after a cancel, so the caller must treat the output as garbage
+// once it observes done closed. A nil done is exactly ParallelFor.
+func ParallelForCancel(done <-chan struct{}, n int, f func(int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if Aborted(done) {
+				return
+			}
 			f(i)
 		}
 		return
@@ -46,6 +75,9 @@ func ParallelFor(n int, f func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if Aborted(done) {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -16,6 +17,59 @@ func TestParallelForCoversEveryIndexOnce(t *testing.T) {
 				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
 			}
 		}
+	}
+}
+
+// TestAborted pins the happy-path sentinel: a nil done is never aborted, an
+// open channel is not aborted, a closed one is.
+func TestAborted(t *testing.T) {
+	if Aborted(nil) {
+		t.Fatal("nil done reported aborted")
+	}
+	done := make(chan struct{})
+	if Aborted(done) {
+		t.Fatal("open done reported aborted")
+	}
+	close(done)
+	if !Aborted(done) {
+		t.Fatal("closed done not reported aborted")
+	}
+}
+
+// TestParallelForCancelAbortsEarly: once done closes, workers must stop
+// claiming indices — a closed-from-the-start done runs nothing (serial and
+// pooled paths both), and a nil done still covers every index.
+func TestParallelForCancelAbortsEarly(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	prev := runtime.GOMAXPROCS(1) // serial path
+	var ran atomic.Int32
+	ParallelForCancel(done, 100, func(int) { ran.Add(1) })
+	runtime.GOMAXPROCS(4) // worker-pool path
+	ParallelForCancel(done, 100, func(int) { ran.Add(1) })
+	runtime.GOMAXPROCS(prev)
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d tasks ran under a pre-closed done, want 0", got)
+	}
+	ParallelForCancel(nil, 100, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("nil done covered %d indices, want 100", got)
+	}
+
+	// Cancelling mid-run: close done from inside a task; the call must still
+	// return (no deadlock) having skipped at least the untouched tail.
+	var after atomic.Int32
+	mid := make(chan struct{})
+	var once sync.Once
+	ParallelForCancel(mid, 1000, func(i int) {
+		if i == 0 {
+			once.Do(func() { close(mid) })
+			return
+		}
+		after.Add(1)
+	})
+	if got := after.Load(); got >= 999 {
+		t.Fatalf("cancel mid-run skipped nothing: %d of 999 other tasks ran", got)
 	}
 }
 

@@ -168,3 +168,25 @@ func InferPooled(l Layer, x *Tensor, p *Pool) *Tensor {
 	}
 	return l.Forward(x, false)
 }
+
+// CancelLayer is a PooledLayer with a cooperative cancellation hook: once
+// done closes, the layer stops computing and returns a partially written
+// buffer the caller must discard after observing done. Only layers whose
+// forward is expensive enough to matter implement it (the convolutions);
+// elementwise layers finish faster than a checkpoint would save.
+type CancelLayer interface {
+	ForwardCancel(x *Tensor, p *Pool, done <-chan struct{}) *Tensor
+}
+
+// InferCancel runs one inference-only forward through l with cancellation:
+// cancel-aware layers poll done between output planes, everything else runs
+// to completion (the between-layer checkpoint in the caller still bounds the
+// abort to one layer). A nil done is exactly InferPooled.
+func InferCancel(l Layer, x *Tensor, p *Pool, done <-chan struct{}) *Tensor {
+	if done != nil {
+		if cl, ok := l.(CancelLayer); ok {
+			return cl.ForwardCancel(x, p, done)
+		}
+	}
+	return InferPooled(l, x, p)
+}

@@ -12,6 +12,7 @@
 package yolite
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -152,6 +153,75 @@ func (m *Model) forwardPooled(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 	return upo, ago
 }
 
+// forwardCancel is the inference forward with a cooperative cancellation
+// checkpoint after every backbone block (and, inside each conv, between
+// output planes — see tensor.ParallelForCancel), so a cancelled context
+// aborts within roughly one conv layer instead of paying for the full
+// backbone. It returns ctx.Err() as soon as the cancel is observed; the
+// partially computed activations go back to the pool (their contents are
+// garbage, which pooled buffers are allowed to be). Only called with a
+// cancellable context — the Background path stays on Forward, checkpoint
+// free.
+func (m *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *tensor.Tensor, err error) {
+	p := m.Pool
+	done := ctx.Done()
+	step := func(b *nn.Sequential, in *tensor.Tensor) (*tensor.Tensor, bool) {
+		h := b.ForwardCancel(in, p, done)
+		if in != x {
+			p.Put(in)
+		}
+		if ctx.Err() != nil {
+			if h != x {
+				p.Put(h)
+			}
+			return nil, false
+		}
+		return h, true
+	}
+	h, ok := step(m.B1, x)
+	if !ok {
+		return nil, nil, ctx.Err()
+	}
+	if h, ok = step(m.B2, h); !ok {
+		return nil, nil, ctx.Err()
+	}
+	if h, ok = step(m.B3, h); !ok {
+		return nil, nil, ctx.Err()
+	}
+	f8, ok := step(m.B3b, h)
+	if !ok {
+		return nil, nil, ctx.Err()
+	}
+	upo = m.UPOHead.ForwardCancel(f8, p, done)
+	if ctx.Err() != nil {
+		p.Put(f8)
+		p.Put(upo)
+		return nil, nil, ctx.Err()
+	}
+	h4 := m.B4.ForwardCancel(f8, p, done)
+	p.Put(f8) // both consumers (UPO head, B4) are done
+	if ctx.Err() != nil {
+		p.Put(h4)
+		p.Put(upo)
+		return nil, nil, ctx.Err()
+	}
+	h5 := m.B5.ForwardCancel(h4, p, done)
+	p.Put(h4)
+	if ctx.Err() != nil {
+		p.Put(h5)
+		p.Put(upo)
+		return nil, nil, ctx.Err()
+	}
+	ago = m.AGOHead.ForwardCancel(h5, p, done)
+	p.Put(h5)
+	if ctx.Err() != nil {
+		p.Put(upo)
+		p.Put(ago)
+		return nil, nil, ctx.Err()
+	}
+	return upo, ago, nil
+}
+
 // Backward propagates head gradients through the shared backbone.
 func (m *Model) Backward(dUPO, dAGO *tensor.Tensor) {
 	dF8Head := m.UPOHead.Backward(dUPO)
@@ -266,6 +336,56 @@ func (m *Model) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []met
 	m.Pool.Put(upo)
 	m.Pool.Put(ago)
 	return dets
+}
+
+// PredictTensorCtx is PredictTensor with cooperative cancellation: a
+// cancelled or expired ctx aborts the forward within roughly one conv layer
+// and returns ctx.Err(). A context that can never be cancelled (Background,
+// TODO) takes the exact PredictTensor path, so uncancellable callers pay one
+// nil check and results stay bit-identical to the legacy API.
+func (m *Model) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
+	if ctx.Done() == nil {
+		return m.PredictTensor(x, n, confThresh), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	upo, ago, err := m.forwardCancel(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	dets := m.decodeItem(x, upo, ago, n, confThresh)
+	m.Pool.Put(upo)
+	m.Pool.Put(ago)
+	return dets, nil
+}
+
+// PredictBatchCtx is PredictBatch with cooperative cancellation, with an
+// extra checkpoint between per-item decodes. See PredictTensorCtx for the
+// contract; the Background path is exactly PredictBatch.
+func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThresh float64) ([][]metrics.Detection, error) {
+	if ctx.Done() == nil {
+		return m.PredictBatch(x, confThresh), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	upo, ago, err := m.forwardCancel(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for n := range out {
+		if err := ctx.Err(); err != nil {
+			m.Pool.Put(upo)
+			m.Pool.Put(ago)
+			return nil, err
+		}
+		out[n] = m.decodeItem(x, upo, ago, n, confThresh)
+	}
+	m.Pool.Put(upo)
+	m.Pool.Put(ago)
+	return out, nil
 }
 
 // PredictBatch runs one forward over the whole [N, 3, H, W] batch and
