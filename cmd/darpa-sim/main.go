@@ -32,6 +32,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/faults"
+	"repro/internal/frauddroid"
 	"repro/internal/perfmodel"
 	"repro/internal/quant"
 	"repro/internal/serve"
@@ -51,7 +53,14 @@ func main() {
 	detector := flag.String("detector", "yolite", "registry backend to run the service with")
 	fleet := flag.Int("fleet", 1, "simulated devices sharing one batched detector (1 = classic single-handset run)")
 	deadline := flag.Duration("deadline", 0, "per-analysis wall-clock deadline (0 = none); expired cycles abort mid-forward and skip decoration")
+	chaos := flag.Float64("chaos", 0, "inject detector errors at this rate (0-1); enables the resilient path (retry + frauddroid fallback)")
+	chaosLatency := flag.Duration("chaos-latency", 0, "inject latency spikes of this size on ~10% of detector calls")
+	chaosPanic := flag.Int("chaos-panic", 0, "panic inside the detector on every Nth call (0 = never)")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "corrupt detector results (NaN boxes, out-of-range scores) at this rate")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault-injection plan's RNG")
 	flag.Parse()
+
+	plan := chaosPlan(*chaos, *chaosLatency, *chaosPanic, *chaosCorrupt, *chaosSeed)
 
 	clock := sim.NewClock(42)
 	screen := uikit.NewScreen(384, 640)
@@ -71,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *fleet > 1 {
-		runFleet(model, *fleet, *minutes, *bypass, *obfuscate, *deadline)
+		runFleet(model, plan, *fleet, *minutes, *bypass, *obfuscate, *deadline)
 		return
 	}
 	a := app.Launch(clock, mgr, app.Config{
@@ -81,8 +90,19 @@ func main() {
 	})
 	monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
 
+	cfg := core.Config{AutoBypass: *bypass, Deadline: *deadline}
+	svcModel := model
+	if plan != nil {
+		// Chaos mode: faults hit the primary backend; the service retries it,
+		// then falls back to the metadata heuristic reading the same screen.
+		svcModel = faults.WrapStage(model, plan, "backend")
+		cfg.RetryAttempts = 3
+		cfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
+			Screen: func() *uikit.Screen { return screen },
+		}}
+	}
 	shotIdx := 0
-	svc := core.Start(clock, mgr, model, core.Config{AutoBypass: *bypass, Deadline: *deadline})
+	svc := core.Start(clock, mgr, svcModel, cfg)
 	svc.OnAnalysis = func(an core.Analysis) {
 		if len(an.Detections) == 0 {
 			return
@@ -130,6 +150,13 @@ func main() {
 	fmt.Printf("decorations drawn:           %d\n", st.DecorationsDrawn)
 	fmt.Printf("auto-bypass clicks:          %d\n", st.Bypasses)
 	fmt.Printf("screenshot buffers rinsed:   %d\n", st.Rinses)
+	if plan != nil {
+		fmt.Printf("degraded (no detector):      %d\n", st.Degraded)
+		fmt.Printf("detector retries:            %d\n", st.Retried)
+		fmt.Printf("fallback served:             %d\n", st.FellBack)
+		fmt.Printf("faults injected:             %s\n", plan)
+		printServedRate(st)
+	}
 	fmt.Printf("pipeline stage times:        %s\n", svc.Timings())
 	shown := a.History()
 	byClick := 0
@@ -145,7 +172,7 @@ func main() {
 // Each device owns its clock, screen, app, monkey and DARPA service — only
 // the detector is shared, which is safe because inference is read-only and
 // the batching, caching and pooling layers are all concurrency-safe.
-func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate bool, deadline time.Duration) {
+func runFleet(model detect.Detector, plan *faults.Plan, devices, minutes int, bypass, obfuscate bool, deadline time.Duration) {
 	// Tensor backends get an activation pool: with many devices in flight
 	// the steady-state forward otherwise allocates every intermediate fresh.
 	switch m := model.(type) {
@@ -155,8 +182,19 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 		m.Pool = tensor.NewPool()
 	}
 	rec := &perfmodel.Timings{}
-	cached := detect.WithResultCache(model, 64*devices)
-	shared := serve.NewBatcher(cached, serve.Options{
+	inner := model
+	if plan != nil {
+		inner = faults.WrapStage(model, plan, "backend")
+	}
+	// The result cache sits outside the fault injector, so in chaos mode it
+	// is dropped: a corrupted result memoised as a legitimate hit would turn
+	// one injected fault into a permanent wrong answer.
+	var cached *detect.Cache
+	if plan == nil {
+		cached = detect.WithResultCache(inner, 64*devices)
+		inner = cached
+	}
+	shared := serve.NewBatcher(inner, serve.Options{
 		MaxBatch: devices,
 		Timings:  rec,
 	})
@@ -186,11 +224,20 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 				GenSeed:         int64(100 + d),
 			})
 			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
-			svc := core.Start(clock, mgr, shared, core.Config{
+			cfg := core.Config{
 				AutoBypass:  bypass,
 				Deadline:    deadline,
 				BaseContext: ctx,
-			})
+			}
+			if plan != nil {
+				// Each device retries the shared stack, then falls back to
+				// its own metadata heuristic reading its own screen.
+				cfg.RetryAttempts = 3
+				cfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
+					Screen: func() *uikit.Screen { return screen },
+				}}
+			}
+			svc := core.Start(clock, mgr, shared, cfg)
 			clock.RunUntil(time.Duration(minutes) * time.Minute)
 			monkey.Stop()
 			svc.Stop()
@@ -200,7 +247,9 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 	}
 	wg.Wait()
 	shared.Close()
-	cached.PublishStats(rec)
+	if cached != nil {
+		cached.PublishStats(rec)
+	}
 
 	fmt.Printf("\n--- fleet: %d devices x %d simulated minute(s) ---\n", devices, minutes)
 	fmt.Printf("%-8s %8s %10s %8s %8s\n", "device", "events", "analyses", "AUIs", "popups")
@@ -214,13 +263,65 @@ func runFleet(model detect.Detector, devices, minutes int, bypass, obfuscate boo
 		agg.DecorationsDrawn += r.stats.DecorationsDrawn
 		agg.Superseded += r.stats.Superseded
 		agg.TimedOut += r.stats.TimedOut
+		agg.Degraded += r.stats.Degraded
+		agg.Retried += r.stats.Retried
+		agg.FellBack += r.stats.FellBack
+		for i := range agg.Stages {
+			agg.Stages[i].Runs += r.stats.Stages[i].Runs
+		}
 	}
 	st := shared.Stats()
 	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses (%d superseded, %d timed out), %d AUIs flagged, %d decorations\n",
 		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.Superseded, agg.TimedOut, agg.AUIFlagged, agg.DecorationsDrawn)
 	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d, %d cancelled in queue)\n",
 		st.Batches, st.Items, st.MaxBatchSize, st.MaxQueueDepth, st.Cancelled)
-	fmt.Printf("shared cache: %.0f%% hit rate (%d hits / %d misses, %d shards)\n",
-		100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
+	if cached != nil {
+		fmt.Printf("shared cache: %.0f%% hit rate (%d hits / %d misses, %d shards)\n",
+			100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
+	}
+	if plan != nil {
+		fmt.Printf("chaos:        %s\n", plan)
+		fmt.Printf("resilience:   %d retries, %d fallback-served, %d degraded; scheduler isolated %d poison batches, %d failed requests\n",
+			agg.Retried, agg.FellBack, agg.Degraded, st.Poisoned, st.Failed)
+		printServedRate(agg)
+	}
 	fmt.Printf("serving:      %s\n", rec.String())
+}
+
+// printServedRate reports what fraction of the screens that reached the
+// infer decision still produced a full analysis — directly or via
+// retry/fallback — rather than degrading. Superseded and timed-out cycles
+// are the caller's doing and excluded from the denominator.
+func printServedRate(st core.Stats) {
+	served := st.Stages[core.StageAct].Runs
+	eligible := served + st.Degraded
+	if eligible == 0 {
+		return
+	}
+	fmt.Printf("screens served under chaos:  %d/%d (%.1f%%)\n",
+		served, eligible, 100*float64(served)/float64(eligible))
+}
+
+// chaosPlan assembles the fault-injection plan from the -chaos* flags, or
+// returns nil when every knob is off. Rules are first-match-wins per call:
+// deterministic panics take precedence, then errors, corruptions, and
+// latency spikes.
+func chaosPlan(errRate float64, latency time.Duration, panicEvery int, corruptRate float64, seed int64) *faults.Plan {
+	var rules []faults.Rule
+	if panicEvery > 0 {
+		rules = append(rules, faults.Rule{Stage: "backend", Kind: faults.Panic, Every: panicEvery})
+	}
+	if errRate > 0 {
+		rules = append(rules, faults.Rule{Stage: "backend", Kind: faults.Error, Rate: errRate})
+	}
+	if corruptRate > 0 {
+		rules = append(rules, faults.Rule{Stage: "backend", Kind: faults.Corrupt, Rate: corruptRate})
+	}
+	if latency > 0 {
+		rules = append(rules, faults.Rule{Stage: "backend", Kind: faults.Latency, Rate: 0.1, Latency: latency})
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return faults.NewPlan(seed, rules...)
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/app"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/uikit"
+)
+
+// chaosStub is a fast healthy backend for chaos runs: real inference would
+// dominate the -race run without exercising any more of the resilience
+// plumbing. It answers a fixed, valid detection on every seam.
+type chaosStub struct{ name string }
+
+func (s *chaosStub) Name() string { return s.name }
+
+func (s *chaosStub) dets() []metrics.Detection {
+	return []metrics.Detection{{Class: dataset.ClassUPO, B: geom.BoxF{X: 10, Y: 20, W: 16, H: 8}, Score: 0.9}}
+}
+
+func (s *chaosStub) PredictTensor(_ *tensor.Tensor, _ int, _ float64) []metrics.Detection {
+	return s.dets()
+}
+
+func (s *chaosStub) PredictTensorCtx(ctx context.Context, _ *tensor.Tensor, _ int, _ float64) ([]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.dets(), nil
+}
+
+func (s *chaosStub) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, _ float64) ([][]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		out[i] = s.dets()
+	}
+	return out, nil
+}
+
+// TestChaosFleetSurvives runs a multi-device fleet through a shared serving
+// stack whose backend is under heavy fault injection — ~30% errors, latency
+// spikes, a deterministic panic every 37th call, and a flaky fallback — and
+// pins the PR's containment contract:
+//
+//   - zero crashes: every injected panic is recovered at a seam;
+//   - zero goroutine leaks once every service and the Batcher shut down;
+//   - per-device cycle accounting stays consistent: every cycle that
+//     captured a screenshot lands in exactly one of {acted, superseded,
+//     timed out, degraded};
+//   - at least 95% of eligible screens are still served (retry + fallback
+//     absorb the injected failure rate).
+//
+// Run with -race; the whole point is hammering the resilience layers from
+// many goroutines at once.
+func TestChaosFleetSurvives(t *testing.T) {
+	const devices = 6
+	baseGoroutines := runtime.NumGoroutine()
+
+	plan := faults.NewPlan(5,
+		faults.Rule{Stage: "backend", Kind: faults.Panic, Every: 37},
+		faults.Rule{Stage: "backend", Kind: faults.Error, Rate: 0.3},
+		faults.Rule{Stage: "backend", Kind: faults.Corrupt, Rate: 0.05},
+		faults.Rule{Stage: "backend", Kind: faults.Latency, Rate: 0.1, Latency: 200 * time.Microsecond},
+		faults.Rule{Stage: "fallback", Kind: faults.Error, Rate: 0.2},
+	)
+	shared := serve.NewBatcher(
+		faults.WrapStage(&chaosStub{name: "primary"}, plan, "backend"),
+		serve.Options{MaxBatch: devices},
+	)
+
+	stats := make([]Stats, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			clock := sim.NewClock(int64(42 + d))
+			screen := uikit.NewScreen(384, 640)
+			mgr := a11y.NewManager(clock, screen)
+			a := app.Launch(clock, mgr, app.Config{
+				Package:         fmt.Sprintf("com.chaos.app%02d", d),
+				MeanAUIInterval: 5 * time.Second,
+				GenSeed:         int64(100 + d),
+			})
+			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
+			svc := Start(clock, mgr, shared, Config{
+				RetryAttempts: 3,
+				Fallbacks: []detect.Detector{
+					faults.WrapStage(&chaosStub{name: "fallback"}, plan, "fallback"),
+				},
+				BaseContext: ctx,
+			})
+			clock.RunUntil(2 * time.Minute)
+			monkey.Stop()
+			svc.Stop()
+			a.Stop()
+			stats[d] = svc.Stats()
+		}(d)
+	}
+	wg.Wait()
+	shared.Close()
+
+	var agg Stats
+	for d, st := range stats {
+		captured := st.Stages[StageCapture].Runs
+		acted := st.Stages[StageAct].Runs
+		if captured != acted+st.Superseded+st.TimedOut+st.Degraded {
+			t.Errorf("device %d: cycle accounting off: %d captured != %d acted + %d superseded + %d timed out + %d degraded",
+				d, captured, acted, st.Superseded, st.TimedOut, st.Degraded)
+		}
+		if captured == 0 {
+			t.Errorf("device %d analysed nothing", d)
+		}
+		agg.Superseded += st.Superseded
+		agg.TimedOut += st.TimedOut
+		agg.Degraded += st.Degraded
+		agg.Retried += st.Retried
+		agg.FellBack += st.FellBack
+		for i := range agg.Stages {
+			agg.Stages[i].Runs += st.Stages[i].Runs
+		}
+	}
+
+	if plan.TotalInjected() == 0 {
+		t.Fatal("no faults were injected; the chaos scenario is vacuous")
+	}
+	if agg.Retried == 0 {
+		t.Error("no retries recorded under a 30% error rate")
+	}
+	served := agg.Stages[StageAct].Runs
+	eligible := served + agg.Degraded
+	if eligible == 0 {
+		t.Fatal("no cycles reached the infer decision")
+	}
+	if frac := float64(served) / float64(eligible); frac < 0.95 {
+		t.Errorf("only %.1f%% of %d eligible screens served (%d degraded); want >= 95%%",
+			100*frac, eligible, agg.Degraded)
+	}
+	t.Logf("chaos fleet: %s; %d/%d screens served, %d retries, %d fallback-served, %d degraded",
+		plan, served, eligible, agg.Retried, agg.FellBack, agg.Degraded)
+
+	// Leak check: everything is stopped, so the goroutine count must settle
+	// back to (at most) where it started, give or take runtime housekeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after chaos fleet\n%s",
+				baseGoroutines, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

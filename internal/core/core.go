@@ -93,6 +93,16 @@ type Config struct {
 	// device) can cancel a whole service's work at once. Nil means
 	// context.Background().
 	BaseContext context.Context
+	// RetryAttempts, when > 1, wraps the detector in detect.WithRetry with
+	// that attempt bound, so transient backend failures (errors, panics,
+	// corrupt results) are retried with backoff before the cycle degrades.
+	RetryAttempts int
+	// Fallbacks, when non-empty, chains the (possibly retried) detector
+	// with these backends via detect.WithFallback: when the primary errors,
+	// panics, or circuit-breaks, the cycle is served by the first healthy
+	// fallback instead of degrading — e.g. quant → yolite → the frauddroid
+	// view heuristic.
+	Fallbacks []detect.Detector
 }
 
 func (c Config) cutoff() time.Duration {
@@ -152,6 +162,17 @@ type Stats struct {
 	Superseded int
 	// TimedOut counts in-flight analyses aborted by Config.Deadline.
 	TimedOut int
+	// Degraded counts analyses abandoned because the detector failed
+	// (error, panic, or corrupt result that survived retry and fallback):
+	// the cycle skips decoration instead of crashing the service — the
+	// screen simply goes unprotected, which is the graceful floor.
+	Degraded int
+	// Retried counts extra inference attempts made by Config.RetryAttempts
+	// beyond each call's first.
+	Retried int
+	// FellBack counts inference calls served by a Config.Fallbacks backend
+	// rather than the primary detector.
+	FellBack int
 	// AUIFlagged counts analyses that detected at least one option.
 	AUIFlagged int
 	// DecorationsDrawn counts decoration views added.
@@ -194,6 +215,12 @@ type Service struct {
 	detector detect.Detector
 	timings  *perfmodel.Timings
 
+	// retrier/chain are the resilience wrappers installed by
+	// Config.RetryAttempts / Config.Fallbacks, kept so Stats can surface
+	// their counters; nil when the config does not ask for them.
+	retrier *detect.Retrier
+	chain   *detect.FallbackChain
+
 	mu          sync.Mutex
 	pending     *sim.Event
 	lastPkg     string
@@ -221,21 +248,48 @@ func Start(clock *sim.Clock, mgr *a11y.Manager, detector detect.Detector, cfg Co
 	if detector == nil && cfg.mode() != ModeMonitor {
 		panic("core: Start requires a detector unless running monitor-only")
 	}
+	s := &Service{cfg: cfg, clock: clock, mgr: mgr, timings: &perfmodel.Timings{}}
+	// Resilience stack, inside out: retry hugs the primary backend (its
+	// transient failures are worth re-attempting), the fallback chain sits
+	// above it (only a retry-exhausted primary falls through to the next
+	// backend), and the result cache goes outermost so memoised screens
+	// skip the whole stack — the cache never stores errors, so it cannot
+	// memoise a failure.
+	if detector != nil && cfg.RetryAttempts > 1 {
+		s.retrier = detect.WithRetry(detector, detect.RetryOptions{
+			MaxAttempts: cfg.RetryAttempts,
+			Timings:     s.timings,
+		})
+		detector = s.retrier
+	}
+	if detector != nil && len(cfg.Fallbacks) > 0 {
+		s.chain = detect.WithFallback(detect.FallbackOptions{Timings: s.timings},
+			append([]detect.Detector{detector}, cfg.Fallbacks...)...)
+		detector = s.chain
+	}
 	if detector != nil && cfg.CacheResults {
 		detector = detect.WithResultCache(detector, cfg.CacheCapacity)
 	}
-	s := &Service{cfg: cfg, clock: clock, mgr: mgr, detector: detector,
-		timings: &perfmodel.Timings{}}
+	s.detector = detector
 	// Event registration (Fig. 5 step 1): all 23 event types.
 	mgr.Register(a11y.TypeAllMask, cfg.NotificationDelay, s.onEvent)
 	return s
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Retried and FellBack are read
+// live from the resilience wrappers (they own those counts), so the
+// snapshot is consistent with their Stats() at the moment of the call.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if s.retrier != nil {
+		st.Retried = s.retrier.Stats().Retries
+	}
+	if s.chain != nil {
+		st.FellBack = s.chain.Stats().FellBack
+	}
+	return st
 }
 
 // Timings returns the per-stage latency recorder. The recorder is live;
@@ -355,6 +409,19 @@ func (s *Service) abandon(err error) {
 	}
 }
 
+// degrade accounts one cycle whose detector failed outright (an error,
+// panic, or corrupt result that survived whatever retry and fallback the
+// config installed). Degraded mode is the graceful floor of the service:
+// the cycle skips decoration — the screen goes unprotected this once —
+// instead of crashing, and the failure is visible in Stats.Degraded and the
+// "degraded" timings stage.
+func (s *Service) degrade() {
+	s.mu.Lock()
+	s.stats.Degraded++
+	s.mu.Unlock()
+	s.timings.AddItems("degraded", 1)
+}
+
 // analyze runs one detection cycle (Fig. 5 steps 3-5) as an explicit
 // pipeline: capture -> preprocess -> infer -> postprocess -> act. Each stage
 // is individually timed into Stats.Stages and the Timings recorder. The
@@ -387,7 +454,15 @@ func (s *Service) analyze() {
 		err = ctx.Err()
 	}
 	if err != nil {
-		s.abandon(err)
+		// A cancellation or deadline expiry is the caller's doing and counts
+		// as abandoned; anything else is the detector failing, which
+		// degrades the cycle (skip decoration, keep serving) instead of
+		// crashing the service.
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.abandon(err)
+		} else {
+			s.degrade()
+		}
 		return
 	}
 	s.mu.Lock()

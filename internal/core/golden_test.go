@@ -1,0 +1,104 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/uikit"
+	"repro/internal/yolite"
+)
+
+// TestGoldenDecoratedScreen is the end-to-end golden test: a fixed-seed
+// simulated app pops an AUI, the full capture -> infer -> decorate pipeline
+// runs over the checked-in pretrained weights, and the first decorated
+// screen's pixels are hashed against testdata/golden_decorated.sha256. Any
+// behavioural drift anywhere in the pipeline — tensor conversion, the conv
+// kernels, decoding, calibration, overlay drawing — moves the hash.
+//
+// The test runs only against the pretrained weights (a freshly trained
+// model would legitimately change the pixels) and the hash is
+// machine-independent because every stage is deterministic: the sim clock
+// and AUI generator are seeded, and ParallelFor partitions work per plane
+// with serial-identical output. Regenerate after an intentional pipeline
+// change with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/core -run TestGoldenDecoratedScreen
+func TestGoldenDecoratedScreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end golden test skipped in -short mode")
+	}
+	model := loadPretrainedOnly(t)
+
+	clock := sim.NewClock(77)
+	screen := uikit.NewScreen(384, 640)
+	mgr := a11y.NewManager(clock, screen)
+	a := app.Launch(clock, mgr, app.Config{
+		Package:         "com.golden.app",
+		MeanAUIInterval: 5 * time.Second,
+		GenSeed:         99,
+	})
+	svc := Start(clock, mgr, model, Config{})
+
+	var hash string
+	svc.OnAnalysis = func(an Analysis) {
+		if hash != "" || len(an.Detections) == 0 {
+			return
+		}
+		// Observers run after decoration, so the render includes the
+		// overlays this analysis just drew.
+		c := screen.Render()
+		sum := sha256.Sum256(c.Pix)
+		hash = hex.EncodeToString(sum[:])
+	}
+	clock.RunUntil(2 * time.Minute)
+	svc.Stop()
+	a.Stop()
+
+	if hash == "" {
+		t.Fatal("no analysis flagged an AUI; the golden scenario is broken")
+	}
+
+	golden := filepath.Join("testdata", "golden_decorated.sha256")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(hash+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden hash updated: %s", hash)
+		return
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1 to create it): %v", err)
+	}
+	want := strings.TrimSpace(string(raw))
+	if hash != want {
+		t.Fatalf("decorated screen hash drifted:\ngot:  %s\nwant: %s\n(if the pipeline change is intentional, regenerate with GOLDEN_UPDATE=1)", hash, want)
+	}
+}
+
+// loadPretrainedOnly returns the checked-in pretrained model, skipping the
+// test when the weights are absent: unlike loadOrTrainModel it never falls
+// back to training, because golden pixels are only meaningful for one fixed
+// set of weights.
+func loadPretrainedOnly(t *testing.T) *yolite.Model {
+	t.Helper()
+	m := yolite.NewModel(7)
+	for _, dir := range []string{"weights", filepath.Join("..", "..", "weights")} {
+		if err := m.Load(filepath.Join(dir, "yolite.gob")); err == nil {
+			return m
+		}
+	}
+	t.Skip("golden test requires the checked-in pretrained weights")
+	return nil
+}

@@ -68,6 +68,23 @@ var (
 	_ ContextBatchPredictor = (*Cache)(nil)
 )
 
+// The resilience layer preserves every seam too, so recovery, retry and
+// fallback drop in anywhere a backend fits.
+var (
+	_ Detector              = (*Recovered)(nil)
+	_ Detector              = (*Retrier)(nil)
+	_ Detector              = (*FallbackChain)(nil)
+	_ BatchPredictor        = (*Recovered)(nil)
+	_ BatchPredictor        = (*Retrier)(nil)
+	_ BatchPredictor        = (*FallbackChain)(nil)
+	_ ContextPredictor      = (*Recovered)(nil)
+	_ ContextPredictor      = (*Retrier)(nil)
+	_ ContextPredictor      = (*FallbackChain)(nil)
+	_ ContextBatchPredictor = (*Recovered)(nil)
+	_ ContextBatchPredictor = (*Retrier)(nil)
+	_ ContextBatchPredictor = (*FallbackChain)(nil)
+)
+
 // weightsPath maps a registry name to its weight file ("yolite-masked" →
 // "yolite_masked.gob", matching the files cmd/darpa-train writes).
 func weightsPath(dir, name string) string {

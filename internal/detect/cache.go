@@ -2,6 +2,7 @@ package detect
 
 import (
 	"context"
+	"fmt"
 	"hash/maphash"
 	"math"
 	"math/bits"
@@ -362,6 +363,16 @@ func (c *Cache) predictBatch(ctx context.Context, x *tensor.Tensor, confThresh f
 	res, err := PredictBatchCtx(ctx, c.inner, sub, confThresh)
 	if err != nil {
 		return nil, err
+	}
+	// A misbehaving backend can return a result slice that does not match
+	// the compacted miss sub-batch (nil on an unreported failure, or a
+	// short/long slice). Blindly mapping res[j] back to item i would panic
+	// on a short slice — or worse, silently misalign results against items,
+	// memoising screen A's detections under screen B's key. Refuse instead:
+	// the mapping invariant (res[j] belongs to missItems[j]) is the whole
+	// correctness of miss compaction.
+	if len(res) != len(missItems) {
+		return nil, fmt.Errorf("detect: cache: inner batch returned %d results for %d miss items", len(res), len(missItems))
 	}
 	for j, i := range missItems {
 		c.store(keys[i], res[j])

@@ -1,8 +1,10 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -269,6 +271,80 @@ func BenchmarkShardedCacheParallelHits(b *testing.B) {
 					c.PredictTensor(pool[rng.Intn(len(pool))], 0, 0.45)
 				}
 			})
+		})
+	}
+}
+
+// misalignedBatchStub answers per-item calls honestly (first pixel echoed
+// back, like contentStub) but lets its batch seam return a result slice of
+// any length — nil, short, or long — to model an inner backend that violates
+// the one-result-per-item contract.
+type misalignedBatchStub struct {
+	contentStub
+	batchLen int // -1: nil slice; otherwise a slice of this length
+}
+
+func (s *misalignedBatchStub) PredictBatchCtx(_ context.Context, x *tensor.Tensor, _ float64) ([][]metrics.Detection, error) {
+	s.calls.Add(1)
+	if s.batchLen < 0 {
+		return nil, nil
+	}
+	out := make([][]metrics.Detection, s.batchLen)
+	for i := range out {
+		out[i] = []metrics.Detection{det(-999, 0, 8, 8, 0.9)} // garbage if ever memoised
+	}
+	return out, nil
+}
+
+// TestCacheRejectsMisalignedInnerBatch pins the miss-compaction guard: an
+// inner batch that returns a result slice of the wrong length used to be
+// mapped blindly back onto the miss items — panicking on a short slice, or
+// worse, silently memoising screen A's detections under screen B's key. The
+// cache must refuse the whole batch and store nothing, so later honest calls
+// still get their own correct answers.
+func TestCacheRejectsMisalignedInnerBatch(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		batchLen int
+	}{
+		{"nil", -1},
+		{"short", 2},
+		{"long", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stub := &misalignedBatchStub{batchLen: tc.batchLen}
+			c := WithResultCache(stub, 32)
+
+			x := tensor.New(3, 3, yolite.InputH, yolite.InputW)
+			per := len(x.Data) / 3
+			for i := 0; i < 3; i++ {
+				copy(x.Data[i*per:(i+1)*per], screen(10+i).Data)
+			}
+			out, err := c.PredictBatchCtx(context.Background(), x, 0.45)
+			if err == nil {
+				t.Fatalf("misaligned inner batch accepted: %v", out)
+			}
+			if !strings.Contains(err.Error(), "miss items") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+
+			// Nothing may have been memoised from the bad batch: honest
+			// per-item calls must miss, reach the backend, and echo each
+			// screen's own pixel (a crossed wire would answer -999 or a
+			// neighbour's id from the cache).
+			hitsBefore := c.Hits()
+			for i := 0; i < 3; i++ {
+				dets, err := c.PredictTensorCtx(context.Background(), screen(10+i), 0, 0.45)
+				if err != nil {
+					t.Fatalf("honest call %d failed: %v", i, err)
+				}
+				if len(dets) != 1 || dets[0].B.X != float64(10+i) {
+					t.Fatalf("screen %d served a stale/misaligned entry: %+v", 10+i, dets)
+				}
+			}
+			if c.Hits() != hitsBefore {
+				t.Fatalf("bad batch left entries behind: hits went %d -> %d", hitsBefore, c.Hits())
+			}
 		})
 	}
 }

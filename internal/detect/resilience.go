@@ -1,0 +1,693 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// This file is the resilience layer of the detector seam: panic-to-error
+// recovery, bounded retry with backoff, and health-tracked fallback chains
+// with circuit breaking. The layer's contract has two halves:
+//
+//   - Transparent when healthy: with no faults, a wrapped stack returns
+//     bit-identical results to the bare backend (the equivalence the
+//     property tests pin), because every wrapper's success path hands the
+//     inner result through untouched.
+//   - Contained when faulty: a panic becomes an error at the seam, an error
+//     is retried with backoff then handed to the next backend in the chain,
+//     a persistently failing backend is circuit-broken out of the rotation,
+//     and a corrupt result (NaN boxes, out-of-range scores) is treated as a
+//     failure rather than handed downstream.
+
+// PanicError wraps a panic recovered at the detector seam, so one bad
+// screen surfaces as an inference error instead of killing the process.
+type PanicError struct{ Value any }
+
+// Error describes the recovered panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("detect: backend panicked: %v", e.Value) }
+
+// ErrCorruptResult marks a result that failed validation (non-finite or
+// negative-size boxes, scores outside [0, 1]).
+var ErrCorruptResult = errors.New("detect: backend returned corrupt detections")
+
+// ErrAllBackendsFailed is wrapped by a fallback chain when no backend could
+// serve a call; errors.Is recognises it under the per-backend detail.
+var ErrAllBackendsFailed = errors.New("detect: all fallback backends failed")
+
+// ValidDetections reports whether every detection is structurally sane:
+// finite box coordinates, non-negative box sizes, and a finite score in
+// [0, 1]. It is the default validation hook of the retry and fallback
+// wrappers — the guard that stops a corrupted tensor from flowing into
+// decoration as a NaN-positioned overlay.
+func ValidDetections(dets []metrics.Detection) bool {
+	for _, d := range dets {
+		b := d.B
+		if !finite(b.X) || !finite(b.Y) || !finite(b.W) || !finite(b.H) {
+			return false
+		}
+		if b.W < 0 || b.H < 0 {
+			return false
+		}
+		if !finite(d.Score) || d.Score < 0 || d.Score > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validBatch applies valid to every item of a batch result.
+func validBatch(out [][]metrics.Detection, valid func([]metrics.Detection) bool) bool {
+	for _, dets := range out {
+		if !valid(dets) {
+			return false
+		}
+	}
+	return true
+}
+
+// isCtxError reports whether err is a cancellation or deadline expiry —
+// caller-initiated conditions that resilience must propagate, never retry
+// or fall back on (the caller has left; more compute helps nobody).
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// Recovered converts inner-backend panics to *PanicError at every seam.
+type Recovered struct{ inner Detector }
+
+// WithRecovery wraps d so a panicking call returns an error (ctx seams) or
+// an empty result (legacy seams, which have no error channel) instead of
+// unwinding the caller. Healthy calls pass through untouched.
+func WithRecovery(d Detector) *Recovered { return &Recovered{inner: d} }
+
+// Name reports the inner backend's name.
+func (r *Recovered) Name() string { return r.inner.Name() }
+
+// PredictTensorCtx delegates, converting a panic to *PanicError.
+func (r *Recovered) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) (dets []metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets, err = nil, &PanicError{Value: p}
+		}
+	}()
+	return Predict(ctx, r.inner, x, n, conf)
+}
+
+// PredictBatchCtx delegates the batch, converting a panic to *PanicError.
+func (r *Recovered) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) (out [][]metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, &PanicError{Value: p}
+		}
+	}()
+	return PredictBatchCtx(ctx, r.inner, x, conf)
+}
+
+// PredictTensor delegates on the legacy seam; a panic yields no detections.
+func (r *Recovered) PredictTensor(x *tensor.Tensor, n int, conf float64) (dets []metrics.Detection) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets = nil
+		}
+	}()
+	return r.inner.PredictTensor(x, n, conf)
+}
+
+// PredictBatch delegates on the legacy batch seam; a panic yields nil.
+func (r *Recovered) PredictBatch(x *tensor.Tensor, conf float64) (out [][]metrics.Detection) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+		}
+	}()
+	return PredictBatch(r.inner, x, conf)
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+
+// RetryOptions tune WithRetry. The zero value retries up to 3 attempts with
+// 1ms..50ms backoff and default validation.
+type RetryOptions struct {
+	// MaxAttempts bounds total attempts (first try included); <= 0 means 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay. <= 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means 50ms.
+	MaxDelay time.Duration
+	// Seed seeds the jitter RNG so backoff sequences replay; 0 means 1.
+	Seed int64
+	// Validate accepts a result; a rejected result counts as a failed
+	// attempt (ErrCorruptResult). Nil means ValidDetections.
+	Validate func([]metrics.Detection) bool
+	// Timings, when non-nil, counts retries under "detect-retry" and
+	// exhausted calls under "detect-retry-failed".
+	Timings *perfmodel.Timings
+}
+
+func (o RetryOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+func (o RetryOptions) baseDelay() time.Duration {
+	if o.BaseDelay <= 0 {
+		return time.Millisecond
+	}
+	return o.BaseDelay
+}
+
+func (o RetryOptions) maxDelay() time.Duration {
+	if o.MaxDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.MaxDelay
+}
+
+func (o RetryOptions) validate() func([]metrics.Detection) bool {
+	if o.Validate == nil {
+		return ValidDetections
+	}
+	return o.Validate
+}
+
+// RetryStats snapshots a Retrier's activity.
+type RetryStats struct {
+	// Calls counts inference calls through the wrapper.
+	Calls int
+	// Retries counts extra attempts made beyond each call's first.
+	Retries int
+	// Recovered counts calls that failed at least once and ultimately
+	// succeeded — the screens retry actually saved.
+	Recovered int
+	// Failures counts calls that exhausted every attempt.
+	Failures int
+}
+
+// Retrier retries failed inference calls with exponential backoff and
+// jitter. Panics in the inner backend are recovered and count as failed
+// attempts; cancellations and deadline expiries are never retried. Safe for
+// concurrent use.
+type Retrier struct {
+	inner Detector
+	opts  RetryOptions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats RetryStats
+}
+
+// WithRetry wraps d with bounded, backed-off retry.
+func WithRetry(d Detector, opts RetryOptions) *Retrier {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Retrier{inner: d, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name reports the inner backend's name.
+func (r *Retrier) Name() string { return r.inner.Name() }
+
+// Stats returns a snapshot of retry activity.
+func (r *Retrier) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// backoff sleeps before retry attempt (1-based), honouring ctx. The delay
+// is BaseDelay doubled per attempt, capped at MaxDelay, with half-interval
+// jitter drawn from the seeded RNG.
+func (r *Retrier) backoff(ctx context.Context, attempt int) error {
+	d := r.opts.baseDelay() << (attempt - 1)
+	if max := r.opts.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	r.mu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	d = d/2 + jitter
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Retrier) noteCall() {
+	r.mu.Lock()
+	r.stats.Calls++
+	r.mu.Unlock()
+}
+
+func (r *Retrier) noteRetry() {
+	r.mu.Lock()
+	r.stats.Retries++
+	r.mu.Unlock()
+	r.opts.Timings.AddItems("detect-retry", 1)
+}
+
+func (r *Retrier) noteRecovered() {
+	r.mu.Lock()
+	r.stats.Recovered++
+	r.mu.Unlock()
+}
+
+func (r *Retrier) noteFailure() {
+	r.mu.Lock()
+	r.stats.Failures++
+	r.mu.Unlock()
+	r.opts.Timings.AddItems("detect-retry-failed", 1)
+}
+
+// attempt runs one recovered, validated inference attempt.
+func (r *Retrier) attempt(ctx context.Context, x *tensor.Tensor, n int, conf float64) (dets []metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets, err = nil, &PanicError{Value: p}
+		}
+	}()
+	dets, err = Predict(ctx, r.inner, x, n, conf)
+	if err == nil && !r.opts.validate()(dets) {
+		return nil, ErrCorruptResult
+	}
+	return dets, err
+}
+
+// attemptBatch is attempt for the batch seam, validating every item.
+func (r *Retrier) attemptBatch(ctx context.Context, x *tensor.Tensor, conf float64) (out [][]metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, &PanicError{Value: p}
+		}
+	}()
+	out, err = PredictBatchCtx(ctx, r.inner, x, conf)
+	if err == nil && !validBatch(out, r.opts.validate()) {
+		return nil, ErrCorruptResult
+	}
+	return out, err
+}
+
+// PredictTensorCtx runs the retry loop: up to MaxAttempts recovered,
+// validated attempts separated by jittered exponential backoff. A first-try
+// success is returned untouched (the bit-equality half of the contract); a
+// cancellation or deadline expiry propagates immediately.
+func (r *Retrier) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) ([]metrics.Detection, error) {
+	r.noteCall()
+	var lastErr error
+	for attempt := 0; attempt < r.opts.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			if err := r.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+			r.noteRetry()
+		}
+		dets, err := r.attempt(ctx, x, n, conf)
+		if err == nil {
+			if attempt > 0 {
+				r.noteRecovered()
+			}
+			return dets, nil
+		}
+		if isCtxError(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	r.noteFailure()
+	return nil, lastErr
+}
+
+// PredictBatchCtx retries the whole batch: one forward serves every item, so
+// the batch fails and retries as a unit. Per-item containment is the
+// serving layer's job (Batcher poison isolation), not the retrier's.
+func (r *Retrier) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) ([][]metrics.Detection, error) {
+	r.noteCall()
+	var lastErr error
+	for attempt := 0; attempt < r.opts.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			if err := r.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+			r.noteRetry()
+		}
+		out, err := r.attemptBatch(ctx, x, conf)
+		if err == nil {
+			if attempt > 0 {
+				r.noteRecovered()
+			}
+			return out, nil
+		}
+		if isCtxError(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	r.noteFailure()
+	return nil, lastErr
+}
+
+// PredictTensor serves the legacy seam through the retry loop; an exhausted
+// call returns no detections (the seam has no error channel).
+func (r *Retrier) PredictTensor(x *tensor.Tensor, n int, conf float64) []metrics.Detection {
+	dets, _ := r.PredictTensorCtx(context.Background(), x, n, conf)
+	return dets
+}
+
+// PredictBatch mirrors PredictTensor for the legacy batch seam.
+func (r *Retrier) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	out, _ := r.PredictBatchCtx(context.Background(), x, conf)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fallback chain with circuit breaking
+
+// FallbackOptions tune WithFallback. The zero value breaks a backend after
+// 5 consecutive failures, sits it out for 32 calls, and uses default
+// validation.
+type FallbackOptions struct {
+	// BreakAfter is the consecutive-failure count that opens a backend's
+	// circuit breaker; <= 0 means 5.
+	BreakAfter int
+	// Cooldown is how many chain calls an open breaker sits out before a
+	// half-open probe is allowed; <= 0 means 32. Counting calls instead of
+	// wall-clock keeps chaos runs deterministic.
+	Cooldown int
+	// Validate accepts a result; rejected results count as backend failures
+	// (ErrCorruptResult). Nil means ValidDetections.
+	Validate func([]metrics.Detection) bool
+	// Timings, when non-nil, counts fallback serves under "detect-fallback"
+	// and breaker trips under "detect-breaker-open".
+	Timings *perfmodel.Timings
+}
+
+func (o FallbackOptions) breakAfter() int {
+	if o.BreakAfter <= 0 {
+		return 5
+	}
+	return o.BreakAfter
+}
+
+func (o FallbackOptions) cooldown() int {
+	if o.Cooldown <= 0 {
+		return 32
+	}
+	return o.Cooldown
+}
+
+func (o FallbackOptions) validate() func([]metrics.Detection) bool {
+	if o.Validate == nil {
+		return ValidDetections
+	}
+	return o.Validate
+}
+
+// BackendHealth snapshots one chain member's health tracking.
+type BackendHealth struct {
+	// Name is the backend's registry name.
+	Name string
+	// Uses counts attempts routed to the backend (probes included).
+	Uses int
+	// Successes and Failures count those attempts' outcomes.
+	Successes, Failures int
+	// Consecutive is the current consecutive-failure streak.
+	Consecutive int
+	// Open reports whether the breaker is currently open.
+	Open bool
+	// Tripped counts how many times the breaker opened.
+	Tripped int
+}
+
+// FallbackStats snapshots chain-level activity.
+type FallbackStats struct {
+	// Calls counts inference calls into the chain.
+	Calls int
+	// FellBack counts calls served by a backend other than the primary.
+	FellBack int
+	// Failures counts calls no backend could serve.
+	Failures int
+	// Backends holds each member's health, primary first.
+	Backends []BackendHealth
+}
+
+// health is one backend's mutable breaker state.
+type health struct {
+	consec   int
+	open     bool
+	cooldown int
+	uses     int
+	succ     int
+	fail     int
+	tripped  int
+}
+
+// FallbackChain tries backends in order until one serves the call. Each
+// backend's failures are tracked; BreakAfter consecutive failures open its
+// circuit breaker, removing it from rotation for Cooldown calls, after which
+// a single probe is allowed through (half-open) — a success closes the
+// breaker, another failure re-opens it for a fresh cooldown. Panics and
+// invalid results count as failures. Safe for concurrent use.
+type FallbackChain struct {
+	backends []Detector
+	opts     FallbackOptions
+
+	mu     sync.Mutex
+	health []health
+	stats  FallbackStats
+}
+
+// WithFallback chains backends primary-first. It panics when given no
+// backends (a chain that can serve nothing is a programming error).
+func WithFallback(opts FallbackOptions, backends ...Detector) *FallbackChain {
+	if len(backends) == 0 {
+		panic("detect: WithFallback requires at least one backend")
+	}
+	return &FallbackChain{
+		backends: backends,
+		opts:     opts,
+		health:   make([]health, len(backends)),
+	}
+}
+
+// Name reports the primary backend's name.
+func (f *FallbackChain) Name() string { return f.backends[0].Name() }
+
+// Stats returns a snapshot of chain activity and per-backend health.
+func (f *FallbackChain) Stats() FallbackStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Backends = make([]BackendHealth, len(f.backends))
+	for i, h := range f.health {
+		st.Backends[i] = BackendHealth{
+			Name:        f.backends[i].Name(),
+			Uses:        h.uses,
+			Successes:   h.succ,
+			Failures:    h.fail,
+			Consecutive: h.consec,
+			Open:        h.open,
+			Tripped:     h.tripped,
+		}
+	}
+	return st
+}
+
+// admit decides whether backend i may serve this call. An open breaker
+// counts the call against its cooldown and, once the cooldown is spent,
+// admits a half-open probe (the breaker stays open until that probe
+// succeeds).
+func (f *FallbackChain) admit(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := &f.health[i]
+	if !h.open {
+		return true
+	}
+	if h.cooldown > 0 {
+		h.cooldown--
+		return false
+	}
+	return true
+}
+
+// noteOutcome records one attempt's result on backend i, driving the
+// breaker state machine.
+func (f *FallbackChain) noteOutcome(i int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := &f.health[i]
+	h.uses++
+	if ok {
+		h.succ++
+		h.consec = 0
+		h.open = false
+		return
+	}
+	h.fail++
+	h.consec++
+	if h.open {
+		// Failed half-open probe: re-arm the cooldown.
+		h.cooldown = f.opts.cooldown()
+		return
+	}
+	if h.consec >= f.opts.breakAfter() {
+		h.open = true
+		h.cooldown = f.opts.cooldown()
+		h.tripped++
+		f.opts.Timings.AddItems("detect-breaker-open", 1)
+	}
+}
+
+func (f *FallbackChain) noteCall() {
+	f.mu.Lock()
+	f.stats.Calls++
+	f.mu.Unlock()
+}
+
+func (f *FallbackChain) noteServed(i int) {
+	if i == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.stats.FellBack++
+	f.mu.Unlock()
+	f.opts.Timings.AddItems("detect-fallback", 1)
+}
+
+func (f *FallbackChain) noteAllFailed() {
+	f.mu.Lock()
+	f.stats.Failures++
+	f.mu.Unlock()
+}
+
+// try runs one recovered, validated attempt on backend i.
+func (f *FallbackChain) try(ctx context.Context, i int, x *tensor.Tensor, n int, conf float64) (dets []metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets, err = nil, &PanicError{Value: p}
+		}
+	}()
+	dets, err = Predict(ctx, f.backends[i], x, n, conf)
+	if err == nil && !f.opts.validate()(dets) {
+		return nil, ErrCorruptResult
+	}
+	return dets, err
+}
+
+// tryBatch is try for the batch seam.
+func (f *FallbackChain) tryBatch(ctx context.Context, i int, x *tensor.Tensor, conf float64) (out [][]metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, &PanicError{Value: p}
+		}
+	}()
+	out, err = PredictBatchCtx(ctx, f.backends[i], x, conf)
+	if err == nil && !validBatch(out, f.opts.validate()) {
+		return nil, ErrCorruptResult
+	}
+	return out, err
+}
+
+// PredictTensorCtx walks the chain: the first admitted backend that returns
+// a valid result serves the call. Failures advance to the next backend;
+// cancellations propagate immediately without being charged to anyone's
+// health (the caller left — the backend did nothing wrong).
+func (f *FallbackChain) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) ([]metrics.Detection, error) {
+	f.noteCall()
+	var lastErr error
+	for i := range f.backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !f.admit(i) {
+			continue
+		}
+		dets, err := f.try(ctx, i, x, n, conf)
+		if err == nil {
+			f.noteOutcome(i, true)
+			f.noteServed(i)
+			return dets, nil
+		}
+		if isCtxError(err) && ctx.Err() != nil {
+			return nil, err
+		}
+		f.noteOutcome(i, false)
+		lastErr = err
+	}
+	f.noteAllFailed()
+	if lastErr == nil {
+		// Every breaker was open and in cooldown; nothing even ran.
+		return nil, fmt.Errorf("%w (all %d circuit-broken)", ErrAllBackendsFailed, len(f.backends))
+	}
+	return nil, fmt.Errorf("%w: last: %v", ErrAllBackendsFailed, lastErr)
+}
+
+// PredictBatchCtx mirrors PredictTensorCtx on the batch seam: whole-batch
+// attempts per backend, walking the chain on failure.
+func (f *FallbackChain) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) ([][]metrics.Detection, error) {
+	f.noteCall()
+	var lastErr error
+	for i := range f.backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !f.admit(i) {
+			continue
+		}
+		out, err := f.tryBatch(ctx, i, x, conf)
+		if err == nil {
+			f.noteOutcome(i, true)
+			f.noteServed(i)
+			return out, nil
+		}
+		if isCtxError(err) && ctx.Err() != nil {
+			return nil, err
+		}
+		f.noteOutcome(i, false)
+		lastErr = err
+	}
+	f.noteAllFailed()
+	if lastErr == nil {
+		return nil, fmt.Errorf("%w (all %d circuit-broken)", ErrAllBackendsFailed, len(f.backends))
+	}
+	return nil, fmt.Errorf("%w: last: %v", ErrAllBackendsFailed, lastErr)
+}
+
+// PredictTensor serves the legacy seam through the chain; when nothing can
+// serve, it returns no detections.
+func (f *FallbackChain) PredictTensor(x *tensor.Tensor, n int, conf float64) []metrics.Detection {
+	dets, _ := f.PredictTensorCtx(context.Background(), x, n, conf)
+	return dets
+}
+
+// PredictBatch mirrors PredictTensor for the legacy batch seam.
+func (f *FallbackChain) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	out, _ := f.PredictBatchCtx(context.Background(), x, conf)
+	return out
+}

@@ -1,0 +1,454 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// flakyBackend fails (error, panic, or corrupt result) for its first
+// failures calls on the ctx seams, then serves dets. The legacy seam panics
+// if reached — resilience wrappers must route everything through the ctx
+// path.
+type flakyBackend struct {
+	name     string
+	dets     []metrics.Detection
+	failures int
+	err      error // error to return while failing; nil means panic
+	corrupt  bool  // return a NaN result instead of an error while failing
+	calls    int
+}
+
+func (f *flakyBackend) Name() string {
+	if f.name == "" {
+		return "flaky"
+	}
+	return f.name
+}
+
+func (f *flakyBackend) PredictTensor(_ *tensor.Tensor, _ int, _ float64) []metrics.Detection {
+	panic("legacy seam should not be reached")
+}
+
+func (f *flakyBackend) serve() ([]metrics.Detection, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		switch {
+		case f.corrupt:
+			return []metrics.Detection{{B: det(math.NaN(), 0, 1, 1, 0.5).B, Score: 0.5}}, nil
+		case f.err != nil:
+			return nil, f.err
+		default:
+			panic("flaky backend crash")
+		}
+	}
+	return append([]metrics.Detection(nil), f.dets...), nil
+}
+
+func (f *flakyBackend) PredictTensorCtx(ctx context.Context, _ *tensor.Tensor, _ int, _ float64) ([]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.serve()
+}
+
+func (f *flakyBackend) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, _ float64) ([][]metrics.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dets, err := f.serve()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		out[i] = append([]metrics.Detection(nil), dets...)
+	}
+	return out, nil
+}
+
+func healthyDets() []metrics.Detection {
+	return []metrics.Detection{det(10, 20, 30, 40, 0.9), det(1, 2, 3, 4, 0.5)}
+}
+
+func sameDets(a, b []metrics.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func resTensor(n int) *tensor.Tensor {
+	x := tensor.New(n, 1, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	return x
+}
+
+func TestValidDetections(t *testing.T) {
+	cases := []struct {
+		name string
+		dets []metrics.Detection
+		want bool
+	}{
+		{"empty", nil, true},
+		{"healthy", healthyDets(), true},
+		{"nan box", []metrics.Detection{det(math.NaN(), 0, 1, 1, 0.5)}, false},
+		{"inf box", []metrics.Detection{det(0, math.Inf(1), 1, 1, 0.5)}, false},
+		{"negative width", []metrics.Detection{det(0, 0, -1, 1, 0.5)}, false},
+		{"negative height", []metrics.Detection{det(0, 0, 1, -1, 0.5)}, false},
+		{"score above one", []metrics.Detection{det(0, 0, 1, 1, 1.5)}, false},
+		{"score below zero", []metrics.Detection{det(0, 0, 1, 1, -0.1)}, false},
+		{"nan score", []metrics.Detection{det(0, 0, 1, 1, math.NaN())}, false},
+		{"zero size ok", []metrics.Detection{det(5, 5, 0, 0, 0)}, true},
+	}
+	for _, c := range cases {
+		if got := ValidDetections(c.dets); got != c.want {
+			t.Errorf("%s: ValidDetections = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWithRecoveryConvertsPanics(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets(), failures: 1} // panic once
+	r := WithRecovery(b)
+	x := resTensor(1)
+
+	_, err := r.PredictTensorCtx(context.Background(), x, 0, 0.5)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *PanicError", err)
+	}
+	if pe.Value != "flaky backend crash" {
+		t.Fatalf("recovered value = %v", pe.Value)
+	}
+	// The backend has now used up its failure; the pass-through is intact.
+	dets, err := r.PredictTensorCtx(context.Background(), x, 0, 0.5)
+	if err != nil || !sameDets(dets, healthyDets()) {
+		t.Fatalf("healthy pass-through: dets=%v err=%v", dets, err)
+	}
+	if r.Name() != "flaky" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+func TestRetryTransparentOnSuccess(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets()}
+	r := WithRetry(b, RetryOptions{})
+	x := resTensor(1)
+
+	dets, err := r.PredictTensorCtx(context.Background(), x, 0, 0.5)
+	if err != nil {
+		t.Fatalf("PredictTensorCtx: %v", err)
+	}
+	if !sameDets(dets, healthyDets()) {
+		t.Fatalf("retry altered a successful result: %v", dets)
+	}
+	if b.calls != 1 {
+		t.Fatalf("backend called %d times, want 1", b.calls)
+	}
+	st := r.Stats()
+	if st.Calls != 1 || st.Retries != 0 || st.Recovered != 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryRecoversAfterFailures(t *testing.T) {
+	rec := &perfmodel.Timings{}
+	b := &flakyBackend{dets: healthyDets(), failures: 2, err: errors.New("transient")}
+	r := WithRetry(b, RetryOptions{MaxAttempts: 3, BaseDelay: 1, MaxDelay: 1, Timings: rec})
+	dets, err := r.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if !sameDets(dets, healthyDets()) {
+		t.Fatalf("recovered result differs: %v", dets)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Recovered != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if snap := rec.Snapshot(); snap["detect-retry"].Count != 2 {
+		t.Fatalf("timings: %+v", snap)
+	}
+}
+
+func TestRetryRecoversPanics(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets(), failures: 1} // panic once
+	r := WithRetry(b, RetryOptions{BaseDelay: 1, MaxDelay: 1})
+	dets, err := r.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if err != nil || !sameDets(dets, healthyDets()) {
+		t.Fatalf("dets=%v err=%v", dets, err)
+	}
+}
+
+func TestRetryExhaustsAndReportsLastError(t *testing.T) {
+	boom := errors.New("boom")
+	b := &flakyBackend{dets: healthyDets(), failures: 100, err: boom}
+	r := WithRetry(b, RetryOptions{MaxAttempts: 3, BaseDelay: 1, MaxDelay: 1})
+	_, err := r.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if b.calls != 3 {
+		t.Fatalf("backend called %d times, want 3", b.calls)
+	}
+	if st := r.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryRejectsCorruptResults(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets(), failures: 100, corrupt: true}
+	r := WithRetry(b, RetryOptions{MaxAttempts: 2, BaseDelay: 1, MaxDelay: 1})
+	_, err := r.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if !errors.Is(err, ErrCorruptResult) {
+		t.Fatalf("error = %v, want ErrCorruptResult", err)
+	}
+}
+
+func TestRetryNeverRetriesCancellation(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets(), failures: 100, err: errors.New("x")}
+	r := WithRetry(b, RetryOptions{MaxAttempts: 5, BaseDelay: 1, MaxDelay: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.PredictTensorCtx(ctx, resTensor(1), 0, 0.5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want Canceled", err)
+	}
+	if b.calls != 0 {
+		t.Fatalf("backend attempted %d times under a dead context", b.calls)
+	}
+
+	// A backend surfacing the caller's cancellation mid-call is also not
+	// retried.
+	b2 := &flakyBackend{dets: healthyDets(), failures: 100, err: context.Canceled}
+	r2 := WithRetry(b2, RetryOptions{MaxAttempts: 5, BaseDelay: 1, MaxDelay: 1})
+	_, err = r2.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want Canceled", err)
+	}
+	if b2.calls != 1 {
+		t.Fatalf("backend attempted %d times on a cancellation error, want 1", b2.calls)
+	}
+}
+
+func TestRetryBatchSeam(t *testing.T) {
+	b := &flakyBackend{dets: healthyDets(), failures: 1, err: errors.New("transient")}
+	r := WithRetry(b, RetryOptions{BaseDelay: 1, MaxDelay: 1})
+	out, err := r.PredictBatchCtx(context.Background(), resTensor(3), 0.5)
+	if err != nil {
+		t.Fatalf("PredictBatchCtx: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("batch: %d items", len(out))
+	}
+	for i := range out {
+		if !sameDets(out[i], healthyDets()) {
+			t.Fatalf("item %d differs: %v", i, out[i])
+		}
+	}
+}
+
+func TestFallbackPrimaryOnlyWhenHealthy(t *testing.T) {
+	primary := &flakyBackend{name: "primary", dets: healthyDets()}
+	secondary := &flakyBackend{name: "secondary", dets: []metrics.Detection{det(0, 0, 1, 1, 0.1)}}
+	f := WithFallback(FallbackOptions{}, primary, secondary)
+
+	dets, err := f.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if err != nil || !sameDets(dets, healthyDets()) {
+		t.Fatalf("dets=%v err=%v", dets, err)
+	}
+	if secondary.calls != 0 {
+		t.Fatalf("secondary ran %d times while primary was healthy", secondary.calls)
+	}
+	if f.Name() != "primary" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if st := f.Stats(); st.FellBack != 0 || st.Calls != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFallbackServesFromSecondary(t *testing.T) {
+	rec := &perfmodel.Timings{}
+	primary := &flakyBackend{name: "primary", dets: healthyDets(), failures: 100, err: errors.New("down")}
+	secondary := &flakyBackend{name: "secondary", dets: healthyDets()}
+	f := WithFallback(FallbackOptions{Timings: rec}, primary, secondary)
+
+	dets, err := f.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if err != nil || !sameDets(dets, healthyDets()) {
+		t.Fatalf("dets=%v err=%v", dets, err)
+	}
+	st := f.Stats()
+	if st.FellBack != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Backends[0].Failures != 1 || st.Backends[1].Successes != 1 {
+		t.Fatalf("backend health = %+v", st.Backends)
+	}
+	if snap := rec.Snapshot(); snap["detect-fallback"].Count != 1 {
+		t.Fatalf("timings: %+v", snap)
+	}
+}
+
+func TestFallbackAllBackendsFailed(t *testing.T) {
+	primary := &flakyBackend{name: "primary", failures: 100, err: errors.New("down")}
+	secondary := &flakyBackend{name: "secondary", failures: 100} // panics
+	f := WithFallback(FallbackOptions{}, primary, secondary)
+
+	_, err := f.PredictTensorCtx(context.Background(), resTensor(1), 0, 0.5)
+	if !errors.Is(err, ErrAllBackendsFailed) {
+		t.Fatalf("error = %v, want ErrAllBackendsFailed", err)
+	}
+	if st := f.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerOpensCoolsAndCloses(t *testing.T) {
+	rec := &perfmodel.Timings{}
+	primary := &flakyBackend{name: "primary", dets: healthyDets(), failures: 2, err: errors.New("down")}
+	secondary := &flakyBackend{name: "secondary", dets: healthyDets()}
+	f := WithFallback(FallbackOptions{BreakAfter: 2, Cooldown: 3, Timings: rec}, primary, secondary)
+	x := resTensor(1)
+	call := func() {
+		t.Helper()
+		if _, err := f.PredictTensorCtx(context.Background(), x, 0, 0.5); err != nil {
+			t.Fatalf("chain call failed: %v", err)
+		}
+	}
+
+	// Calls 1-2 fail on primary (served by secondary) and open the breaker.
+	call()
+	call()
+	st := f.Stats()
+	if !st.Backends[0].Open || st.Backends[0].Tripped != 1 {
+		t.Fatalf("breaker should be open after 2 consecutive failures: %+v", st.Backends[0])
+	}
+	if snap := rec.Snapshot(); snap["detect-breaker-open"].Count != 1 {
+		t.Fatalf("timings: %+v", snap)
+	}
+
+	// Calls 3-5 sit out the cooldown: primary must not run at all.
+	before := primary.calls
+	call()
+	call()
+	call()
+	if primary.calls != before {
+		t.Fatalf("primary ran during cooldown")
+	}
+
+	// Call 6 is the half-open probe; the backend has healed (failures spent),
+	// so the probe succeeds and the breaker closes.
+	call()
+	st = f.Stats()
+	if st.Backends[0].Open {
+		t.Fatalf("breaker still open after successful probe: %+v", st.Backends[0])
+	}
+	if primary.calls != before+1 {
+		t.Fatalf("probe should have run primary exactly once, ran %d", primary.calls-before)
+	}
+
+	// Call 7 is served by the healthy primary again.
+	fellBack := f.Stats().FellBack
+	call()
+	if f.Stats().FellBack != fellBack {
+		t.Fatalf("healthy primary should serve after the breaker closes")
+	}
+}
+
+func TestBreakerFailedProbeReArmsCooldown(t *testing.T) {
+	primary := &flakyBackend{name: "primary", dets: healthyDets(), failures: 100, err: errors.New("down")}
+	secondary := &flakyBackend{name: "secondary", dets: healthyDets()}
+	f := WithFallback(FallbackOptions{BreakAfter: 1, Cooldown: 2}, primary, secondary)
+	x := resTensor(1)
+
+	// Call 1 opens the breaker; calls 2-3 cool down; call 4 probes and fails.
+	for i := 0; i < 4; i++ {
+		if _, err := f.PredictTensorCtx(context.Background(), x, 0, 0.5); err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+	}
+	if primary.calls != 2 {
+		t.Fatalf("primary ran %d times, want 2 (initial failure + one probe)", primary.calls)
+	}
+	st := f.Stats()
+	if !st.Backends[0].Open {
+		t.Fatalf("breaker should stay open after a failed probe")
+	}
+	// The failed probe re-armed the cooldown: the next 2 calls sit out again.
+	for i := 0; i < 2; i++ {
+		f.PredictTensorCtx(context.Background(), x, 0, 0.5)
+	}
+	if primary.calls != 2 {
+		t.Fatalf("primary ran during the re-armed cooldown")
+	}
+}
+
+func TestFallbackAllCircuitBroken(t *testing.T) {
+	primary := &flakyBackend{name: "primary", failures: 100, err: errors.New("down")}
+	f := WithFallback(FallbackOptions{BreakAfter: 1, Cooldown: 10}, primary)
+	x := resTensor(1)
+	f.PredictTensorCtx(context.Background(), x, 0, 0.5) // opens the breaker
+	_, err := f.PredictTensorCtx(context.Background(), x, 0, 0.5)
+	if !errors.Is(err, ErrAllBackendsFailed) {
+		t.Fatalf("error = %v", err)
+	}
+	if primary.calls != 1 {
+		t.Fatalf("primary ran %d times, want 1", primary.calls)
+	}
+}
+
+func TestFallbackPropagatesCancellation(t *testing.T) {
+	primary := &flakyBackend{name: "primary", dets: healthyDets()}
+	f := WithFallback(FallbackOptions{}, primary)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := f.PredictTensorCtx(ctx, resTensor(1), 0, 0.5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v", err)
+	}
+	if primary.calls != 0 {
+		t.Fatalf("primary ran under a dead context")
+	}
+	// The cancellation is not charged to the backend's health.
+	if st := f.Stats(); st.Backends[0].Failures != 0 {
+		t.Fatalf("cancellation charged to backend health: %+v", st.Backends[0])
+	}
+}
+
+func TestFallbackBatchSeam(t *testing.T) {
+	primary := &flakyBackend{name: "primary", failures: 100, err: errors.New("down")}
+	secondary := &flakyBackend{name: "secondary", dets: healthyDets()}
+	f := WithFallback(FallbackOptions{}, primary, secondary)
+	out, err := f.PredictBatchCtx(context.Background(), resTensor(2), 0.5)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+	for i := range out {
+		if !sameDets(out[i], healthyDets()) {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+}
+
+func TestWithFallbackPanicsOnEmptyChain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for empty chain")
+		}
+	}()
+	WithFallback(FallbackOptions{})
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Detector injects a plan's faults at the detector seam. It implements every
+// surface the seam offers (plain, batch, and both ctx variants), so it drops
+// in anywhere a backend fits — typically innermost, under the resilience
+// middleware it exists to exercise:
+//
+//	chaos := faults.Wrap(model, plan)
+//	d := detect.WithFallback(opts, detect.WithRetry(chaos, retryOpts), heuristic)
+//
+// One Decide is consumed per inference call (a batch counts as one call of
+// the stage, mirroring how one forward serves the whole batch).
+type Detector struct {
+	inner detect.Detector
+	plan  *Plan
+	stage string
+}
+
+// The injector preserves every seam of the backend it wraps.
+var (
+	_ detect.Detector              = (*Detector)(nil)
+	_ detect.BatchPredictor        = (*Detector)(nil)
+	_ detect.ContextPredictor      = (*Detector)(nil)
+	_ detect.ContextBatchPredictor = (*Detector)(nil)
+)
+
+// Wrap injects plan's faults around d, using d's name as the plan stage.
+func Wrap(d detect.Detector, plan *Plan) *Detector {
+	return WrapStage(d, plan, d.Name())
+}
+
+// WrapStage is Wrap with an explicit stage name, for plans that target one
+// copy of a backend among several (e.g. only the primary of a fallback
+// chain).
+func WrapStage(d detect.Detector, plan *Plan, stage string) *Detector {
+	return &Detector{inner: d, plan: plan, stage: stage}
+}
+
+// Name reports the inner backend's name: an injected backend still shows up
+// as itself in tables and logs.
+func (f *Detector) Name() string { return f.inner.Name() }
+
+// sleep waits out an injected latency spike, honouring a cancellable
+// context the way a genuinely slow backend under the ctx seam would.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CorruptDetections returns a damaged copy of dets: the first detection's
+// box and score become NaN, and a detection with a negative-size,
+// astronomically placed box is appended. The damage is deterministic, and
+// detect.ValidDetections rejects it — which is exactly what lets retry and
+// fallback treat a corrupt result as a failure.
+func CorruptDetections(dets []metrics.Detection) []metrics.Detection {
+	out := append([]metrics.Detection(nil), dets...)
+	nan := math.NaN()
+	if len(out) > 0 {
+		out[0].B.X = nan
+		out[0].Score = nan
+	}
+	out = append(out, metrics.Detection{
+		B:     geom.BoxF{X: 1e18, Y: nan, W: -4, H: math.Inf(1)},
+		Score: 2,
+	})
+	return out
+}
+
+// PredictTensorCtx decides one injection and applies it: Error returns the
+// fault's error, Panic panics, Latency delays then delegates, Corrupt
+// delegates then damages the result. No fault means a transparent delegate.
+func (f *Detector) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) ([]metrics.Detection, error) {
+	fault, ok := f.plan.Decide(f.stage)
+	if !ok {
+		return detect.Predict(ctx, f.inner, x, n, conf)
+	}
+	switch fault.Kind {
+	case Error:
+		return nil, fault.Err
+	case Panic:
+		panic("faults: injected panic at stage " + f.stage)
+	case Latency:
+		if err := sleep(ctx, fault.Latency); err != nil {
+			return nil, err
+		}
+		return detect.Predict(ctx, f.inner, x, n, conf)
+	case Corrupt:
+		dets, err := detect.Predict(ctx, f.inner, x, n, conf)
+		if err != nil {
+			return nil, err
+		}
+		return CorruptDetections(dets), nil
+	}
+	return detect.Predict(ctx, f.inner, x, n, conf)
+}
+
+// PredictBatchCtx is the batched counterpart: one decision covers the whole
+// batch (one forward serves it), and a Corrupt fault damages item 0 — the
+// partial-batch damage the Batcher's poison isolation must contain.
+func (f *Detector) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) ([][]metrics.Detection, error) {
+	fault, ok := f.plan.Decide(f.stage)
+	if !ok {
+		return detect.PredictBatchCtx(ctx, f.inner, x, conf)
+	}
+	switch fault.Kind {
+	case Error:
+		return nil, fault.Err
+	case Panic:
+		panic("faults: injected panic at stage " + f.stage)
+	case Latency:
+		if err := sleep(ctx, fault.Latency); err != nil {
+			return nil, err
+		}
+		return detect.PredictBatchCtx(ctx, f.inner, x, conf)
+	case Corrupt:
+		out, err := detect.PredictBatchCtx(ctx, f.inner, x, conf)
+		if err != nil || len(out) == 0 {
+			return out, err
+		}
+		out[0] = CorruptDetections(out[0])
+		return out, nil
+	}
+	return detect.PredictBatchCtx(ctx, f.inner, x, conf)
+}
+
+// PredictTensor is the legacy seam, which has no error channel: an Error
+// fault degrades to an empty result (the silent failure mode a legacy caller
+// would actually observe), a Panic fault still panics, and Latency/Corrupt
+// behave as on the ctx path. Resilient stacks call the ctx seam and never
+// hit the degraded branch.
+func (f *Detector) PredictTensor(x *tensor.Tensor, n int, conf float64) []metrics.Detection {
+	fault, ok := f.plan.Decide(f.stage)
+	if !ok {
+		return f.inner.PredictTensor(x, n, conf)
+	}
+	switch fault.Kind {
+	case Error:
+		return nil
+	case Panic:
+		panic("faults: injected panic at stage " + f.stage)
+	case Latency:
+		time.Sleep(fault.Latency)
+		return f.inner.PredictTensor(x, n, conf)
+	case Corrupt:
+		return CorruptDetections(f.inner.PredictTensor(x, n, conf))
+	}
+	return f.inner.PredictTensor(x, n, conf)
+}
+
+// PredictBatch mirrors PredictTensor for the legacy batch seam: an Error
+// fault returns nil (no per-item results at all), everything else as above.
+func (f *Detector) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	fault, ok := f.plan.Decide(f.stage)
+	if !ok {
+		return detect.PredictBatch(f.inner, x, conf)
+	}
+	switch fault.Kind {
+	case Error:
+		return nil
+	case Panic:
+		panic("faults: injected panic at stage " + f.stage)
+	case Latency:
+		time.Sleep(fault.Latency)
+		return detect.PredictBatch(f.inner, x, conf)
+	case Corrupt:
+		out := detect.PredictBatch(f.inner, x, conf)
+		if len(out) > 0 {
+			out[0] = CorruptDetections(out[0])
+		}
+		return out
+	}
+	return detect.PredictBatch(f.inner, x, conf)
+}

@@ -10,6 +10,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -68,6 +69,8 @@ type Stats struct {
 	MaxBatchSize  int // largest coalesced forward
 	MaxQueueDepth int // most requests seen waiting after a collection
 	Cancelled     int // requests pruned at batch formation (ctx dead in queue)
+	Poisoned      int // grouped forwards that failed and were re-run item by item
+	Failed        int // requests answered with a non-cancellation error
 }
 
 // Batcher coalesces concurrent Predict requests into batched forwards. It
@@ -329,12 +332,20 @@ func sameItemShape(a, c request) bool {
 }
 
 // runGroup executes one homogeneous group as a single forward and fans the
-// results back out to their requesters.
+// results back out to their requesters. Failure containment is the
+// scheduler's poison-item isolation: a grouped forward that panics, errors,
+// or returns a misaligned result slice is re-run item by item, so the one
+// poison item fails alone — with its own error — while the rest of the
+// batch still returns real results. Historically an inner panic here killed
+// the dispatcher goroutine, leaving every queued and future caller blocked
+// forever; recovery at this seam is what keeps one bad screen from taking
+// down the whole fleet's serving stack.
 func (b *Batcher) runGroup(group []request) {
 	start := time.Now()
 	if len(group) == 1 {
 		r := group[0]
-		r.resp <- response{dets: b.inner.PredictTensor(r.x, r.n, r.conf)}
+		dets, err := b.predictOne(r)
+		b.answer(r, dets, err)
 		b.noteBatch(time.Since(start), 1)
 		return
 	}
@@ -347,11 +358,65 @@ func (b *Batcher) runGroup(group []request) {
 	for j, r := range group {
 		copy(sub.Data[j*per:(j+1)*per], r.x.Data[r.n*per:(r.n+1)*per])
 	}
-	res := detect.PredictBatch(b.inner, sub, group[0].conf)
-	for j, r := range group {
-		r.resp <- response{dets: res[j]}
+	res, err := b.predictGroup(sub, group[0].conf)
+	if err != nil || len(res) != len(group) {
+		// Poison isolation: one member spoiled the shared forward (or the
+		// backend misaligned the result mapping). Re-run each request on its
+		// own so the failure lands only on the item that caused it.
+		b.notePoisoned()
+		for _, r := range group {
+			dets, ierr := b.predictOne(r)
+			b.answer(r, dets, ierr)
+		}
+	} else {
+		for j, r := range group {
+			r.resp <- response{dets: res[j]}
+		}
 	}
 	b.noteBatch(time.Since(start), len(group))
+}
+
+// predictOne runs one request directly on the inner backend, converting a
+// panic to an error so the dispatcher survives any backend.
+func (b *Batcher) predictOne(r request) (dets []metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets, err = nil, &detect.PanicError{Value: p}
+		}
+	}()
+	return detect.Predict(r.ctx, b.inner, r.x, r.n, r.conf)
+}
+
+// predictGroup runs one coalesced forward, converting a panic to an error.
+func (b *Batcher) predictGroup(sub *tensor.Tensor, conf float64) (res [][]metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &detect.PanicError{Value: p}
+		}
+	}()
+	return detect.PredictBatchCtx(context.Background(), b.inner, sub, conf)
+}
+
+// answer delivers one request's outcome, counting real failures (not
+// cancellations, which Stats.Cancelled and the caller's own ctx already
+// account for).
+func (b *Batcher) answer(r request, dets []metrics.Detection, err error) {
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		b.statsMu.Lock()
+		b.stats.Failed++
+		b.statsMu.Unlock()
+		b.rec.AddItems("serve-failed", 1)
+	}
+	r.resp <- response{dets: dets, err: err}
+}
+
+// notePoisoned records one grouped forward that fell back to per-item
+// isolation.
+func (b *Batcher) notePoisoned() {
+	b.statsMu.Lock()
+	b.stats.Poisoned++
+	b.statsMu.Unlock()
+	b.rec.AddItems("serve-poisoned", 1)
 }
 
 // notePruned records requests dropped at batch formation because their

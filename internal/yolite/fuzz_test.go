@@ -1,0 +1,91 @@
+package yolite_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// FuzzDecodeDetections throws arbitrary head-map bytes — NaN and Inf bit
+// patterns prominently included — at DecodeHead and pins the decoder's
+// output contract:
+//
+//   - it never panics on a well-formed head tensor, whatever the values;
+//   - every emitted detection is structurally valid (finite, non-negative
+//     boxes; scores in [0, 1]) — the NaN-passthrough fix this PR pins: the
+//     historical `obj < confThresh` comparison let NaN objectness through,
+//     and unchecked box rounding emitted NaN-positioned rectangles;
+//   - every emitted score clears the requested threshold;
+//   - decoding is deterministic.
+//
+// The seed corpus under testdata/fuzz includes NaN-byte payloads so the
+// regression is caught by `go test` alone, without a fuzzing session.
+func FuzzDecodeDetections(f *testing.F) {
+	nan := make([]byte, 4*5*2*3) // 5 channels x 2x3 grid
+	for i := 0; i < len(nan); i += 4 {
+		binary.LittleEndian.PutUint32(nan[i:], math.Float32bits(float32(math.NaN())))
+	}
+	inf := make([]byte, 4*5*2*3)
+	for i := 0; i < len(inf); i += 4 {
+		binary.LittleEndian.PutUint32(inf[i:], math.Float32bits(float32(math.Inf(1))))
+	}
+	f.Add(2, 3, 0, 0.25, nan)
+	f.Add(2, 3, 0, 0.25, inf)
+	f.Add(2, 3, 0, 0.0, nan) // threshold 0: NaN must still not decode
+	f.Add(1, 1, 0, 0.5, []byte{0, 0, 0x80, 0x3f})
+	f.Add(4, 4, 1, 0.9, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+
+	f.Fuzz(func(t *testing.T, gh, gw, n int, confThresh float64, raw []byte) {
+		if gh <= 0 || gw <= 0 || gh*gw > 256 || n < 0 || n > 3 {
+			t.Skip()
+		}
+		plane := gh * gw
+		items := n + 1
+		out := &tensor.Tensor{
+			Shape: []int{items, 5, gh, gw},
+			Data:  make([]float32, items*5*plane),
+		}
+		for i := range out.Data {
+			if len(raw) >= 4 {
+				j := (i * 4) % (len(raw) - len(raw)%4)
+				out.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j:]))
+			}
+		}
+		for _, spec := range []yolite.HeadSpec{yolite.UPOHeadSpec, yolite.AGOHeadSpec} {
+			dets := yolite.DecodeHead(out, n, spec, confThresh)
+			for _, d := range dets {
+				if math.IsNaN(d.B.X) || math.IsNaN(d.B.Y) || math.IsNaN(d.B.W) || math.IsNaN(d.B.H) {
+					t.Fatalf("decoded NaN box: %+v", d)
+				}
+				if math.IsInf(d.B.X, 0) || math.IsInf(d.B.Y, 0) || math.IsInf(d.B.W, 0) || math.IsInf(d.B.H, 0) {
+					t.Fatalf("decoded infinite box: %+v", d)
+				}
+				if d.B.W < 0 || d.B.H < 0 {
+					t.Fatalf("decoded negative-size box: %+v", d)
+				}
+				if math.IsNaN(d.Score) || d.Score < 0 || d.Score > 1 {
+					t.Fatalf("decoded out-of-range score: %+v", d)
+				}
+				if !(d.Score >= confThresh) {
+					t.Fatalf("score %.4f below threshold %.4f", d.Score, confThresh)
+				}
+			}
+			if !detect.ValidDetections(dets) {
+				t.Fatalf("decoded detections fail seam validation: %+v", dets)
+			}
+			again := yolite.DecodeHead(out, n, spec, confThresh)
+			if len(again) != len(dets) {
+				t.Fatalf("decode not deterministic: %d vs %d detections", len(dets), len(again))
+			}
+			for i := range again {
+				if again[i] != dets[i] {
+					t.Fatalf("decode not deterministic at %d: %+v vs %+v", i, dets[i], again[i])
+				}
+			}
+		}
+	})
+}

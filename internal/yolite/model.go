@@ -297,7 +297,12 @@ func DecodeHead(out *tensor.Tensor, n int, spec HeadSpec, confThresh float64) []
 		for col := 0; col < gw; col++ {
 			idx := row*gw + col
 			obj := float64(tensor.Sigmoid(out.Data[base+idx]))
-			if obj < confThresh {
+			// NaN-safe threshold: corrupted feature bytes turn the objectness
+			// logit into NaN, and `obj < confThresh` is false for NaN — the
+			// historical form let every corrupted cell through as a
+			// NaN-positioned detection. The negated comparison rejects NaN
+			// along with low-confidence cells.
+			if !(obj >= confThresh) {
 				continue
 			}
 			// Linear (sigmoid-free) centre offsets; see headLoss.
@@ -317,6 +322,12 @@ func DecodeHead(out *tensor.Tensor, n int, spec HeadSpec, confThresh float64) []
 				Y: math.Round(cy - h/2),
 				W: math.Round(w),
 				H: math.Round(h),
+			}
+			// Corrupted box regressions (NaN/Inf weight or feature bytes)
+			// survive clampf — NaN fails both comparisons — and would flow
+			// downstream as NaN-positioned overlays; drop the cell instead.
+			if math.IsNaN(b.X) || math.IsNaN(b.Y) || math.IsNaN(b.W) || math.IsNaN(b.H) {
+				continue
 			}
 			dets = append(dets, metrics.Detection{Class: spec.Class, B: b, Score: obj})
 		}
