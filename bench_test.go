@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/auigen"
 	"repro/internal/core"
@@ -432,6 +435,75 @@ func BenchmarkPredictUnpooled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(screens[0], false)
+	}
+}
+
+// latencyReplicaBackend models an accelerator-bound replica: each forward
+// occupies the instance for a fixed wall-clock interval regardless of batch
+// size (the NPU pipeline is latency-bound, batching amortises), so replica
+// scaling measures the scheduler and pool layers rather than this host's
+// core count — the benchmark box often has a single core, where N
+// compute-bound replicas cannot run N forwards at once but N
+// accelerator-bound ones can.
+type latencyReplicaBackend struct{ forward time.Duration }
+
+func (l *latencyReplicaBackend) Name() string { return "latency-replica" }
+
+func (l *latencyReplicaBackend) PredictTensor(_ *tensor.Tensor, _ int, conf float64) []metrics.Detection {
+	time.Sleep(l.forward)
+	return []metrics.Detection{{Score: conf}}
+}
+
+func (l *latencyReplicaBackend) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	time.Sleep(l.forward)
+	out := make([][]metrics.Detection, x.Shape[0])
+	for i := range out {
+		out[i] = []metrics.Detection{{Score: conf}}
+	}
+	return out
+}
+
+// BenchmarkSchedulerReplicas drives the layered serving stack (admission ->
+// scheduler -> replica pool) with 16 concurrent mixed-tenant clients — half
+// live-priority, half batch-audit — against 1, 2 and 4 replicas. Every
+// request must succeed; screens/s is the headline metric (BENCH_sched.json
+// tracks the 4-vs-1 scaling, which must stay >= 2x).
+func BenchmarkSchedulerReplicas(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			backends := make([]detect.Predictor, replicas)
+			for i := range backends {
+				backends[i] = &latencyReplicaBackend{forward: 2 * time.Millisecond}
+			}
+			batcher := serve.NewReplicated(serve.Options{
+				MaxBatch: 4,
+				MaxDelay: 500 * time.Microsecond,
+			}, backends...)
+			defer batcher.Close()
+			x := tensor.New(1, 3, 8, 8)
+			var clientID, failed atomic.Int64
+			b.SetParallelism((16 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				info := serve.TenantInfo{ID: "live"}
+				if clientID.Add(1)%2 == 0 {
+					info = serve.TenantInfo{ID: "audit", Priority: serve.PriorityBatch}
+				}
+				ctx := serve.WithTenant(context.Background(), info)
+				for pb.Next() {
+					if _, err := batcher.PredictTensorCtx(ctx, x, 0, 0.45); err != nil {
+						failed.Add(1)
+					}
+				}
+			})
+			b.StopTimer()
+			if elapsed := b.Elapsed(); elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "screens/s")
+			}
+			if failed.Load() != 0 {
+				b.Fatalf("%d requests failed or were dropped", failed.Load())
+			}
+		})
 	}
 }
 

@@ -52,6 +52,10 @@ func main() {
 	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
 	detector := flag.String("detector", "yolite", "registry backend to run the service with")
 	fleet := flag.Int("fleet", 1, "simulated devices sharing one batched detector (1 = classic single-handset run)")
+	replicas := flag.Int("replicas", 1, "independent model replicas behind the fleet's shared scheduler")
+	tenants := flag.Int("tenants", 1, "tenant identities the fleet's devices are spread across (tenant0 is live-priority, the rest batch-priority)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate limit in requests/sec (0 = unlimited)")
+	shedDepth := flag.Int("shed-depth", 0, "shed requests once the scheduler queues hold this many (0 = never shed)")
 	deadline := flag.Duration("deadline", 0, "per-analysis wall-clock deadline (0 = none); expired cycles abort mid-forward and skip decoration")
 	chaos := flag.Float64("chaos", 0, "inject detector errors at this rate (0-1); enables the resilient path (retry + frauddroid fallback)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "inject latency spikes of this size on ~10% of detector calls")
@@ -66,7 +70,7 @@ func main() {
 	screen := uikit.NewScreen(384, 640)
 	mgr := a11y.NewManager(clock, screen)
 
-	model, err := detect.Build(*detector, detect.BuildContext{
+	bctx := detect.BuildContext{
 		WeightsDir: *weights,
 		Samples: func() []*dataset.Sample {
 			log.Printf("no pretrained weights in %s; training a quick model...", *weights)
@@ -75,13 +79,30 @@ func main() {
 		Epochs: 10,
 		Screen: func() *uikit.Screen { return screen },
 		Logf:   log.Printf,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 	if *fleet > 1 {
-		runFleet(model, plan, *fleet, *minutes, *bypass, *obfuscate, *deadline)
+		// Train-if-cold happens once; replica builds after the first are
+		// warm weight loads producing independent model instances.
+		bctx.SaveWeights = true
+		reps, err := detect.BuildReplicas(*detector, bctx, *replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runFleet(reps, plan, fleetConfig{
+			devices:    *fleet,
+			minutes:    *minutes,
+			tenants:    *tenants,
+			tenantRate: *tenantRate,
+			shedDepth:  *shedDepth,
+			bypass:     *bypass,
+			obfuscate:  *obfuscate,
+			deadline:   *deadline,
+		})
 		return
+	}
+	model, err := detect.Build(*detector, bctx)
+	if err != nil {
+		log.Fatal(err)
 	}
 	a := app.Launch(clock, mgr, app.Config{
 		Package:         "com.example.shop",
@@ -168,36 +189,77 @@ func main() {
 	fmt.Printf("AUI popups shown by the app: %d (%d dismissed by click)\n", len(shown), byClick)
 }
 
-// runFleet drives N devices concurrently through one shared serving stack.
-// Each device owns its clock, screen, app, monkey and DARPA service — only
-// the detector is shared, which is safe because inference is read-only and
-// the batching, caching and pooling layers are all concurrency-safe.
-func runFleet(model detect.Detector, plan *faults.Plan, devices, minutes int, bypass, obfuscate bool, deadline time.Duration) {
-	// Tensor backends get an activation pool: with many devices in flight
-	// the steady-state forward otherwise allocates every intermediate fresh.
-	switch m := model.(type) {
-	case *yolite.Model:
-		m.Pool = tensor.NewPool()
-	case *quant.Model:
-		m.Pool = tensor.NewPool()
+// fleetConfig bundles the fleet-mode knobs.
+type fleetConfig struct {
+	devices    int
+	minutes    int
+	tenants    int
+	tenantRate float64
+	shedDepth  int
+	bypass     bool
+	obfuscate  bool
+	deadline   time.Duration
+}
+
+// runFleet drives N devices concurrently through one shared serving stack:
+// per-tenant admission in front of a priority scheduler feeding the replica
+// pool. Each device owns its clock, screen, app, monkey and DARPA service —
+// only the serving stack is shared, which is safe because inference is
+// read-only and the admission, batching, caching and pooling layers are all
+// concurrency-safe. Devices are spread round-robin across tenant identities;
+// tenant0 is the live-decoration tier, the rest are batch-audit tier.
+func runFleet(models []detect.Detector, plan *faults.Plan, fc fleetConfig) {
+	devices, minutes := fc.devices, fc.minutes
+	if fc.tenants <= 0 {
+		fc.tenants = 1
 	}
 	rec := &perfmodel.Timings{}
-	inner := model
-	if plan != nil {
-		inner = faults.WrapStage(model, plan, "backend")
+	// Each replica's tensor backend gets its own activation pool — with many
+	// devices in flight the steady-state forward otherwise allocates every
+	// intermediate fresh, and pools must never be shared across replicas.
+	// The pool is installed on the raw model here because the fault and
+	// cache wrappers below hide the SetPool seam from the replica layer.
+	var caches []*detect.Cache
+	backends := make([]detect.Predictor, 0, len(models))
+	for _, model := range models {
+		switch m := model.(type) {
+		case *yolite.Model:
+			m.SetPool(tensor.NewPool())
+		case *quant.Model:
+			m.SetPool(tensor.NewPool())
+		}
+		inner := detect.Predictor(model)
+		if plan != nil {
+			// The result cache sits outside the fault injector, so in chaos
+			// mode it is dropped: a corrupted result memoised as a legitimate
+			// hit would turn one injected fault into a permanent wrong answer.
+			inner = faults.WrapStage(model, plan, "backend")
+		} else {
+			c := detect.WithResultCache(model, 64*devices/len(models))
+			caches = append(caches, c)
+			inner = c
+		}
+		backends = append(backends, inner)
 	}
-	// The result cache sits outside the fault injector, so in chaos mode it
-	// is dropped: a corrupted result memoised as a legitimate hit would turn
-	// one injected fault into a permanent wrong answer.
-	var cached *detect.Cache
-	if plan == nil {
-		cached = detect.WithResultCache(inner, 64*devices)
-		inner = cached
+	// Tenant table: tenant0 serves the interactive tier, every other tenant
+	// the audit tier; one rate knob covers them all (0 = unlimited).
+	tenantTable := make(map[serve.TenantID]serve.TenantConfig, fc.tenants)
+	for t := 0; t < fc.tenants; t++ {
+		prio := serve.PriorityLive
+		if t > 0 {
+			prio = serve.PriorityBatch
+		}
+		tenantTable[serve.TenantID(fmt.Sprintf("tenant%d", t))] = serve.TenantConfig{
+			Rate:     fc.tenantRate,
+			Priority: prio,
+		}
 	}
-	shared := serve.NewBatcher(inner, serve.Options{
-		MaxBatch: devices,
-		Timings:  rec,
-	})
+	shared := serve.NewReplicated(serve.Options{
+		MaxBatch:      devices,
+		Timings:       rec,
+		Tenants:       tenantTable,
+		MaxQueueDepth: fc.shedDepth,
+	}, backends...)
 
 	type deviceResult struct {
 		stats  core.Stats
@@ -220,25 +282,35 @@ func runFleet(model detect.Detector, plan *faults.Plan, devices, minutes int, by
 			a := app.Launch(clock, mgr, app.Config{
 				Package:         fmt.Sprintf("com.fleet.app%02d", d),
 				MeanAUIInterval: 10 * time.Second,
-				Obfuscate:       obfuscate,
+				Obfuscate:       fc.obfuscate,
 				GenSeed:         int64(100 + d),
 			})
 			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
+			tenant := d % fc.tenants
 			cfg := core.Config{
-				AutoBypass:  bypass,
-				Deadline:    deadline,
+				AutoBypass:  fc.bypass,
+				Deadline:    fc.deadline,
 				BaseContext: ctx,
+				Tenant:      fmt.Sprintf("tenant%d", tenant),
+			}
+			if tenant > 0 {
+				cfg.TenantPriority = serve.PriorityBatch
 			}
 			if plan != nil {
-				// Each device retries the shared stack, then falls back to
-				// its own metadata heuristic reading its own screen.
+				// Each device retries the shared stack before degrading.
 				cfg.RetryAttempts = 3
+			}
+			if plan != nil || fc.shedDepth > 0 || fc.tenantRate > 0 {
+				// Chaos faults, shed requests (serve.ErrOverloaded) and rate
+				// rejections (serve.ErrRateLimited) all degrade the same way:
+				// the device falls back to its own metadata heuristic reading
+				// its own screen instead of failing the cycle.
 				cfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
 					Screen: func() *uikit.Screen { return screen },
 				}}
 			}
 			svc := core.Start(clock, mgr, shared, cfg)
-			clock.RunUntil(time.Duration(minutes) * time.Minute)
+			clock.RunUntil(time.Duration(fc.minutes) * time.Minute)
 			monkey.Stop()
 			svc.Stop()
 			a.Stop()
@@ -247,8 +319,8 @@ func runFleet(model detect.Detector, plan *faults.Plan, devices, minutes int, by
 	}
 	wg.Wait()
 	shared.Close()
-	if cached != nil {
-		cached.PublishStats(rec)
+	for _, c := range caches {
+		c.PublishStats(rec)
 	}
 
 	fmt.Printf("\n--- fleet: %d devices x %d simulated minute(s) ---\n", devices, minutes)
@@ -273,11 +345,26 @@ func runFleet(model detect.Detector, plan *faults.Plan, devices, minutes int, by
 	st := shared.Stats()
 	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses (%d superseded, %d timed out), %d AUIs flagged, %d decorations\n",
 		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.Superseded, agg.TimedOut, agg.AUIFlagged, agg.DecorationsDrawn)
+	fmt.Printf("admission:    %d offered = %d admitted + %d shed + %d rejected (%d tenants)\n",
+		st.Offered, st.Admitted, st.Shed, st.Rejected, len(st.Tenants))
 	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d, %d cancelled in queue)\n",
 		st.Batches, st.Items, st.MaxBatchSize, st.MaxQueueDepth, st.Cancelled)
-	if cached != nil {
-		fmt.Printf("shared cache: %.0f%% hit rate (%d hits / %d misses, %d shards)\n",
-			100*cached.HitRate(), cached.Hits(), cached.Misses(), cached.ShardCount())
+	for _, r := range st.Replicas {
+		fmt.Printf("replica %-2d    %d screens in %d forwards, %v busy, %d failed, %d bench trips\n",
+			r.ID, r.Items, r.Batches, r.Busy.Round(time.Millisecond), r.Failed, r.BenchTrips)
+	}
+	if len(caches) > 0 {
+		var hits, misses int
+		for _, c := range caches {
+			hits += c.Hits()
+			misses += c.Misses()
+		}
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("result cache: %.0f%% hit rate (%d hits / %d misses, %d per-replica caches)\n",
+			100*rate, hits, misses, len(caches))
 	}
 	if plan != nil {
 		fmt.Printf("chaos:        %s\n", plan)

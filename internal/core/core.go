@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/render"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/uikit"
 	"repro/internal/yolite"
@@ -93,6 +94,16 @@ type Config struct {
 	// device) can cancel a whole service's work at once. Nil means
 	// context.Background().
 	BaseContext context.Context
+	// Tenant, when non-empty, tags every analysis context with this serving
+	// tenant identity (serve.WithTenant), so a shared serve.Batcher can
+	// rate-limit, prioritise, and account this service's requests per
+	// tenant. Empty leaves the context untagged, which the serving layer
+	// accounts to serve.DefaultTenant.
+	Tenant string
+	// TenantPriority is the scheduler queue this service's requests ask
+	// for. The Batcher's tenant table, when it names the tenant, overrides
+	// this. Zero is serve.PriorityLive — right for interactive decoration.
+	TenantPriority serve.Priority
 	// RetryAttempts, when > 1, wraps the detector in detect.WithRetry with
 	// that attempt bound, so transient backend failures (errors, panics,
 	// corrupt results) are retried with backoff before the cycle degrades.
@@ -379,6 +390,12 @@ func (s *Service) beginAnalysis() (ctx context.Context, finish func(), ok bool) 
 		ctx, cancel = context.WithTimeout(base, d)
 	} else {
 		ctx, cancel = context.WithCancel(base)
+	}
+	if s.cfg.Tenant != "" {
+		ctx = serve.WithTenant(ctx, serve.TenantInfo{
+			ID:       serve.TenantID(s.cfg.Tenant),
+			Priority: s.cfg.TenantPriority,
+		})
 	}
 	done := make(chan struct{})
 	s.inflightCancel = cancel

@@ -1,0 +1,23 @@
+package detect
+
+import "fmt"
+
+// BuildReplicas constructs n independent instances of the named backend from
+// the registry — the provisioning seam for the serving layer's replica pool.
+// Each instance is built through its own Build call, so replicas share no
+// mutable state (weights are loaded or trained per instance; with a warm
+// WeightsDir the n-1 extra builds are just file loads). n <= 0 builds one.
+func BuildReplicas(name string, ctx BuildContext, n int) ([]Detector, error) {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]Detector, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := Build(name, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("detect: building replica %d/%d of %q: %w", i+1, n, name, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

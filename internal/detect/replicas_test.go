@@ -1,0 +1,38 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBuildReplicas: each replica is an independent instance from its own
+// Build call, n <= 0 still provisions one, and builder errors name the
+// replica that failed.
+func TestBuildReplicas(t *testing.T) {
+	built := 0
+	Register("replicas-test-stub", func(ctx BuildContext) (Detector, error) {
+		built++
+		return &stubDetector{}, nil
+	})
+	reps, err := BuildReplicas("replicas-test-stub", BuildContext{}, 3)
+	if err != nil || len(reps) != 3 {
+		t.Fatalf("BuildReplicas: %d replicas, err %v", len(reps), err)
+	}
+	if built != 3 {
+		t.Fatalf("builder ran %d times, want 3", built)
+	}
+	if reps[0] == reps[1] || reps[1] == reps[2] {
+		t.Fatal("replicas share an instance")
+	}
+	if reps, err := BuildReplicas("replicas-test-stub", BuildContext{}, 0); err != nil || len(reps) != 1 {
+		t.Fatalf("n=0: %d replicas, err %v", len(reps), err)
+	}
+	if _, err := BuildReplicas("no-such-backend", BuildContext{}, 2); err == nil {
+		t.Fatal("unknown backend built replicas")
+	}
+	boom := errors.New("boom")
+	Register("replicas-test-fail", func(ctx BuildContext) (Detector, error) { return nil, boom })
+	if _, err := BuildReplicas("replicas-test-fail", BuildContext{}, 2); !errors.Is(err, boom) {
+		t.Fatalf("builder failure not propagated: %v", err)
+	}
+}

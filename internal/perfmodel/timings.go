@@ -2,18 +2,34 @@ package perfmodel
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// latencyWindow bounds the per-stage sample reservoir backing the quantile
+// estimates: the most recent latencyWindow wall-clock observations are kept
+// in a ring. A sliding window (rather than all-time reservoir sampling)
+// makes the percentiles track the *current* behaviour of a long-lived
+// service — a latency regression shows up within one window instead of
+// being averaged away against hours of history.
+const latencyWindow = 512
+
 // LatencyStats accumulates wall-clock latency observations for one pipeline
-// stage. The zero value is ready to use.
+// stage. The zero value is ready to use. Count/Total/Max cover everything
+// ever observed; the quantile accessors (Quantile, P50/P95/P99) are computed
+// over the most recent latencyWindow observations.
 type LatencyStats struct {
 	Count int
 	Total time.Duration
 	Max   time.Duration
+
+	// samples is the recent-window ring behind Quantile; next is the ring
+	// cursor once the window is full.
+	samples []time.Duration
+	next    int
 }
 
 // Observe folds one measurement into the counters.
@@ -23,6 +39,25 @@ func (l *LatencyStats) Observe(d time.Duration) {
 	if d > l.Max {
 		l.Max = d
 	}
+	l.sample(d)
+}
+
+// sample records one wall-clock observation in the recent window.
+func (l *LatencyStats) sample(d time.Duration) {
+	if len(l.samples) < latencyWindow {
+		l.samples = append(l.samples, d)
+		return
+	}
+	l.samples[l.next] = d
+	l.next = (l.next + 1) % latencyWindow
+}
+
+// clone deep-copies the stats so a snapshot shares no storage with the live
+// recorder (the ring is mutated in place once full).
+func (l *LatencyStats) clone() LatencyStats {
+	c := *l
+	c.samples = append([]time.Duration(nil), l.samples...)
+	return c
 }
 
 // Mean returns the average observed latency, 0 when nothing was observed.
@@ -32,6 +67,36 @@ func (l LatencyStats) Mean() time.Duration {
 	}
 	return l.Total / time.Duration(l.Count)
 }
+
+// Quantile returns the q-th (0 < q <= 1) latency quantile over the recent
+// observation window, using the nearest-rank method. It returns 0 when
+// nothing was observed. Batched observations count once (the batch's wall
+// time), matching how Max treats them.
+func (l LatencyStats) Quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// P50 is the median of the recent observation window.
+func (l LatencyStats) P50() time.Duration { return l.Quantile(0.50) }
+
+// P95 is the 95th percentile of the recent observation window.
+func (l LatencyStats) P95() time.Duration { return l.Quantile(0.95) }
+
+// P99 is the 99th percentile of the recent observation window — the tail
+// the scheduler's latency claims are judged on.
+func (l LatencyStats) P99() time.Duration { return l.Quantile(0.99) }
 
 // Timings collects per-stage latency counters — the measured counterpart of
 // the analytical per-unit costs above. The service pipeline and the
@@ -72,6 +137,7 @@ func (t *Timings) ObserveBatch(stage string, d time.Duration, items int) {
 	if d > s.Max {
 		s.Max = d
 	}
+	s.sample(d)
 }
 
 // AddItems advances a stage's Count without contributing latency — for
@@ -90,7 +156,7 @@ func (t *Timings) Stage(name string) LatencyStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if s, ok := t.stages[name]; ok {
-		return *s
+		return s.clone()
 	}
 	return LatencyStats{}
 }
@@ -123,7 +189,7 @@ func (t *Timings) Snapshot() map[string]LatencyStats {
 	defer t.mu.Unlock()
 	out := make(map[string]LatencyStats, len(t.stages))
 	for name, s := range t.stages {
-		out[name] = *s
+		out[name] = s.clone()
 	}
 	return out
 }
@@ -146,7 +212,10 @@ func (t *Timings) String() string {
 		if i > 0 {
 			b.WriteString("; ")
 		}
-		fmt.Fprintf(&b, "%s: n=%d mean=%v max=%v", name, s.Count, s.Mean().Round(time.Microsecond), s.Max.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%s: n=%d mean=%v p50=%v p95=%v p99=%v max=%v", name, s.Count,
+			s.Mean().Round(time.Microsecond), s.P50().Round(time.Microsecond),
+			s.P95().Round(time.Microsecond), s.P99().Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
 	}
 	return b.String()
 }

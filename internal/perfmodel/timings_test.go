@@ -116,3 +116,73 @@ func TestTimingsStages(t *testing.T) {
 		t.Fatalf("summary %q missing infer stats", s)
 	}
 }
+
+// TestLatencyStatsQuantiles: nearest-rank percentiles over a known
+// distribution, so the scheduler's latency claims are distribution-backed
+// rather than mean-only.
+func TestLatencyStatsQuantiles(t *testing.T) {
+	var l LatencyStats
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.P50(); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", got)
+	}
+	if got := l.P95(); got != 95*time.Millisecond {
+		t.Fatalf("P95 = %v, want 95ms", got)
+	}
+	if got := l.P99(); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", got)
+	}
+	if got := (LatencyStats{}).P99(); got != 0 {
+		t.Fatalf("empty P99 = %v, want 0", got)
+	}
+}
+
+// TestLatencyStatsQuantileWindow: the reservoir is a sliding window — once
+// more than latencyWindow observations land, old ones age out, so the
+// quantiles describe recent behaviour.
+func TestLatencyStatsQuantileWindow(t *testing.T) {
+	var l LatencyStats
+	for i := 0; i < latencyWindow; i++ {
+		l.Observe(time.Millisecond)
+	}
+	for i := 0; i < latencyWindow; i++ {
+		l.Observe(time.Second)
+	}
+	if got := l.P50(); got != time.Second {
+		t.Fatalf("P50 after window rollover = %v, want 1s", got)
+	}
+	if l.Count != 2*latencyWindow {
+		t.Fatalf("Count = %d, want %d", l.Count, 2*latencyWindow)
+	}
+}
+
+// TestTimingsSnapshotQuantiles: Snapshot/String surface percentiles, and the
+// snapshot shares no sample storage with the live recorder (a concurrent
+// Observe after Snapshot must not skew the copy).
+func TestTimingsSnapshotQuantiles(t *testing.T) {
+	rec := &Timings{}
+	for i := 1; i <= 4; i++ {
+		rec.Observe("infer", time.Duration(i)*time.Millisecond)
+	}
+	snap := rec.Snapshot()["infer"]
+	if got := snap.P50(); got != 2*time.Millisecond {
+		t.Fatalf("snapshot P50 = %v, want 2ms", got)
+	}
+	rec.Observe("infer", time.Hour)
+	if got := snap.P99(); got != 4*time.Millisecond {
+		t.Fatalf("snapshot mutated by later Observe: P99 = %v", got)
+	}
+	if s := rec.String(); !strings.Contains(s, "p50=") || !strings.Contains(s, "p99=") {
+		t.Fatalf("String() %q missing percentiles", s)
+	}
+	// ObserveBatch counts the batch once in the window (like Max), so an
+	// 8-item batch does not flood the quantiles with one latency.
+	rec2 := &Timings{}
+	rec2.ObserveBatch("serve-batch", 80*time.Millisecond, 8)
+	rec2.Observe("serve-batch", 2*time.Millisecond)
+	if got := rec2.Stage("serve-batch").P50(); got != 2*time.Millisecond {
+		t.Fatalf("batched stage P50 = %v, want 2ms (batch counted once)", got)
+	}
+}

@@ -493,6 +493,10 @@ var _ yolite.Predictor = (*Model)(nil)
 // Name identifies the backend in registries and result tables.
 func (qm *Model) Name() string { return "yolite-int8" }
 
+// SetPool mirrors yolite.Model.SetPool: the replica-pool seam for installing
+// a private activation pool. Must not be called while a forward is in flight.
+func (qm *Model) SetPool(p *tensor.Pool) { qm.Pool = p }
+
 // WeightBytes reports the size of the quantised weights in bytes, the
 // "smaller model size" the paper credits ncnn with.
 func (qm *Model) WeightBytes() int {

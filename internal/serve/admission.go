@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file is the admission layer — the first of the three serving layers
+// (admission → scheduler → replica pool). Every request entering the Batcher
+// passes through exactly one admission decision before it may touch a queue:
+// the tenant's token bucket is consulted first (rate limiting), then the
+// scheduler's queue depth (load shedding). Rejecting here is deliberate
+// back-pressure: a request the system cannot serve in time should fail in
+// microseconds at the front door — where the caller's fallback chain can
+// still produce a degraded heuristic answer — not time out after riding a
+// queue it was never going to clear.
+
+// TenantID names one detection consumer — a device fleet, an audit pipeline,
+// a store-scan worker. Requests carrying no tenant are accounted to
+// DefaultTenant.
+type TenantID string
+
+// DefaultTenant is the identity assumed for requests that carry none.
+const DefaultTenant TenantID = "default"
+
+// Priority orders the scheduler's queues. The zero value is PriorityLive, so
+// untagged requests — the interactive path decorating a screen the user is
+// looking at — get the low-latency queue by default.
+type Priority int
+
+const (
+	// PriorityLive is the interactive tier: live screen decoration, where
+	// added latency is visible to a user mid-interaction.
+	PriorityLive Priority = iota
+	// PriorityBatch is the throughput tier: store audits and batch scans,
+	// which care about completion, not per-request latency.
+	PriorityBatch
+	numPriorities
+)
+
+// String renders the tier for logs and stats lines.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLive:
+		return "live"
+	case PriorityBatch:
+		return "batch"
+	}
+	return "unknown"
+}
+
+// TenantInfo is the identity a request carries through its context.
+type TenantInfo struct {
+	ID       TenantID
+	Priority Priority
+}
+
+// tenantKey is the context key for TenantInfo; unexported so only WithTenant
+// can set it.
+type tenantKey struct{}
+
+// WithTenant attaches a tenant identity to ctx. The serving layer reads it at
+// admission; everything between the caller and the Batcher passes it through
+// untouched, so tenancy rides the same channel as cancellation.
+func WithTenant(ctx context.Context, info TenantInfo) context.Context {
+	return context.WithValue(ctx, tenantKey{}, info)
+}
+
+// TenantFrom extracts the tenant identity from ctx, defaulting to
+// DefaultTenant at PriorityLive when none was attached.
+func TenantFrom(ctx context.Context) TenantInfo {
+	if info, ok := ctx.Value(tenantKey{}).(TenantInfo); ok {
+		if info.ID == "" {
+			info.ID = DefaultTenant
+		}
+		return info
+	}
+	return TenantInfo{ID: DefaultTenant, Priority: PriorityLive}
+}
+
+// TenantConfig sets one tenant's admission policy.
+type TenantConfig struct {
+	// Rate is the sustained admission rate in requests per second. Zero or
+	// negative means unlimited — the bucket never empties.
+	Rate float64
+	// Burst is the bucket capacity: how many requests may arrive back to
+	// back before the rate limit bites. Zero defaults to max(1, Rate).
+	Burst int
+	// Priority assigns every request from this tenant to a scheduler queue,
+	// overriding whatever the request's context carries — the operator's
+	// tenant table outranks a caller self-declaring as interactive.
+	Priority Priority
+}
+
+// Admission errors. Both are terminal for the request at this layer; the
+// caller's fallback chain (detect.WithFallback) is where a degraded answer
+// comes from.
+var (
+	// ErrRateLimited rejects a request whose tenant exhausted its token
+	// bucket. Retrying immediately will fail again; the tenant must slow down.
+	ErrRateLimited = errors.New("serve: tenant rate limit exceeded")
+	// ErrOverloaded sheds a request because the scheduler's queues are at
+	// MaxQueueDepth. Unlike ErrRateLimited this is global back-pressure —
+	// any tenant's retry may succeed once the queues drain.
+	ErrOverloaded = errors.New("serve: scheduler overloaded, request shed")
+	// ErrClosed rejects a request that arrived after Close. The Batcher
+	// facade converts it into a direct unbatched call for legacy callers;
+	// it is exported so layered deployments can detect shutdown explicitly.
+	ErrClosed = errors.New("serve: batcher closed")
+)
+
+// verdict is one admission decision.
+type verdict int
+
+const (
+	admitted verdict = iota
+	shed
+	rejected
+)
+
+// TenantStats is one tenant's admission ledger.
+type TenantStats struct {
+	Offered  int // requests that reached admission
+	Admitted int // requests that entered a scheduler queue
+	Shed     int // requests dropped for global queue depth
+	Rejected int // requests dropped by this tenant's rate limit
+}
+
+// AdmissionStats aggregates the admission layer's ledger. The invariant
+// Offered == Admitted + Shed + Rejected holds at every snapshot — a request
+// that reaches admission is counted exactly once, whatever its fate.
+type AdmissionStats struct {
+	Offered  int
+	Admitted int
+	Shed     int
+	Rejected int
+	Tenants  map[TenantID]TenantStats
+}
+
+// tenantState is one tenant's live token bucket.
+type tenantState struct {
+	cfg    TenantConfig
+	tokens float64
+	last   time.Time
+	stats  TenantStats
+}
+
+// admission is the front-door layer: per-tenant token buckets plus global
+// queue-depth shedding. All state sits behind one mutex — an admission
+// decision is a few float ops, so the critical section is nanoseconds.
+type admission struct {
+	mu       sync.Mutex
+	tenants  map[TenantID]*tenantState
+	configs  map[TenantID]TenantConfig
+	def      TenantConfig
+	maxDepth int
+	now      func() time.Time
+	stats    AdmissionStats
+}
+
+// newAdmission builds the layer. configs may be nil (every tenant gets def);
+// maxDepth <= 0 disables shedding; now is injectable for deterministic
+// refill tests and defaults to time.Now.
+func newAdmission(configs map[TenantID]TenantConfig, def TenantConfig, maxDepth int, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{
+		tenants:  make(map[TenantID]*tenantState),
+		configs:  configs,
+		def:      def,
+		maxDepth: maxDepth,
+		now:      now,
+	}
+}
+
+// burst resolves a config's effective bucket capacity.
+func burst(cfg TenantConfig) float64 {
+	if cfg.Burst > 0 {
+		return float64(cfg.Burst)
+	}
+	if cfg.Rate > 1 {
+		return cfg.Rate
+	}
+	return 1
+}
+
+// state returns the tenant's live bucket, creating it full on first sight —
+// a tenant's first burst is always admitted up to its Burst.
+func (a *admission) state(id TenantID) *tenantState {
+	if s, ok := a.tenants[id]; ok {
+		return s
+	}
+	cfg, ok := a.configs[id]
+	if !ok {
+		cfg = a.def
+	}
+	s := &tenantState{cfg: cfg, tokens: burst(cfg), last: a.now()}
+	a.tenants[id] = s
+	return s
+}
+
+// decide runs one admission decision for a request from info against the
+// current scheduler depth, updating the ledger. It returns the verdict and
+// the priority queue the request belongs to (meaningful only when admitted).
+func (a *admission) decide(info TenantInfo, depth int) (verdict, Priority) {
+	if info.ID == "" {
+		info.ID = DefaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.state(info.ID)
+	prio := info.Priority
+	if _, configured := a.configs[info.ID]; configured {
+		prio = s.cfg.Priority
+	}
+	if prio < 0 || prio >= numPriorities {
+		prio = PriorityLive
+	}
+	a.stats.Offered++
+	s.stats.Offered++
+
+	// Rate limit first: a tenant over its budget is rejected even when the
+	// queues are empty, so one flooding tenant cannot convert spare global
+	// capacity into a habit the other tenants then pay for under load.
+	if s.cfg.Rate > 0 {
+		now := a.now()
+		s.tokens += now.Sub(s.last).Seconds() * s.cfg.Rate
+		s.last = now
+		if max := burst(s.cfg); s.tokens > max {
+			s.tokens = max
+		}
+		if s.tokens < 1 {
+			a.stats.Rejected++
+			s.stats.Rejected++
+			return rejected, prio
+		}
+		s.tokens--
+	}
+
+	// Then global depth: the queues are already longer than the system can
+	// clear in bounded time, so shed now while a degraded answer is cheap.
+	if a.maxDepth > 0 && depth >= a.maxDepth {
+		a.stats.Shed++
+		s.stats.Shed++
+		return shed, prio
+	}
+	a.stats.Admitted++
+	s.stats.Admitted++
+	return admitted, prio
+}
+
+// snapshot copies the ledger.
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.stats
+	out.Tenants = make(map[TenantID]TenantStats, len(a.tenants))
+	for id, s := range a.tenants {
+		out.Tenants[id] = s.stats
+	}
+	return out
+}

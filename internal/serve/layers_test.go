@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Tests for the layered serving stack: admission (token buckets, shedding,
+// the accounting invariant), scheduler (grouping, priority fairness), and
+// the replica pool (distribution, private pools, benching), plus the
+// Close-vs-submit determinism the facade guarantees.
+
+// degradedStub is the shed-path fallback: instantly answers with a marker
+// detection no real backend produces.
+type degradedStub struct{ calls atomic.Int64 }
+
+func (d *degradedStub) Name() string { return "degraded" }
+
+func (d *degradedStub) PredictTensor(_ *tensor.Tensor, _ int, conf float64) []metrics.Detection {
+	d.calls.Add(1)
+	return []metrics.Detection{{Class: dataset.ClassAGO, B: geom.BoxF{X: -1, W: 1, H: 1}, Score: conf}}
+}
+
+// panicBackend fails every forward by panicking — the one failure mode any
+// Predictor can exhibit — so replica health accounting sees fully-failed
+// groups without needing a ctx-aware stub.
+type panicBackend struct{ calls atomic.Int64 }
+
+func (p *panicBackend) Name() string { return "panicky" }
+
+func (p *panicBackend) PredictTensor(_ *tensor.Tensor, _ int, _ float64) []metrics.Detection {
+	p.calls.Add(1)
+	panic("replica down")
+}
+
+// poolStub records the pool the replica layer installs.
+type poolStub struct {
+	stubBackend
+	pool *tensor.Pool
+}
+
+func (p *poolStub) SetPool(pl *tensor.Pool) { p.pool = pl }
+
+// TestGroupRequests: the extracted batch-formation policy, exercised as a
+// pure function — threshold splits, shape splits, order preservation.
+func TestGroupRequests(t *testing.T) {
+	mk := func(conf float64, shape ...int) request {
+		return request{x: tensor.New(shape...), conf: conf}
+	}
+	batch := []request{
+		mk(0.3, 1, 3, 8, 8),
+		mk(0.5, 1, 3, 8, 8),
+		mk(0.3, 1, 3, 8, 8),
+		mk(0.3, 1, 3, 4, 4), // same conf, different shape
+		mk(0.5, 1, 3, 8, 8),
+	}
+	groups := groupRequests(batch)
+	sizes := make([]int, len(groups))
+	for i, g := range groups {
+		sizes[i] = len(g)
+	}
+	if len(groups) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("group sizes = %v, want [2 2 1]", sizes)
+	}
+	if groups[0][0].conf != 0.3 || groups[1][0].conf != 0.5 || groups[2][0].x.Shape[2] != 4 {
+		t.Fatalf("groups mis-keyed: %v", groups)
+	}
+	if got := groupRequests(nil); got != nil {
+		t.Fatalf("empty batch grouped into %v", got)
+	}
+}
+
+// TestTokenBucketRefill: the admission bucket must admit the initial burst,
+// reject when empty, refill at exactly Rate tokens per second, and cap at
+// Burst — pinned against an injected clock, no sleeps.
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	adm := newAdmission(
+		map[TenantID]TenantConfig{"t": {Rate: 10, Burst: 2}},
+		TenantConfig{}, 0,
+		func() time.Time { return now },
+	)
+	info := TenantInfo{ID: "t"}
+	admit := func() bool {
+		v, _ := adm.decide(info, 0)
+		return v == admitted
+	}
+	if !admit() || !admit() {
+		t.Fatal("initial burst of 2 not admitted")
+	}
+	if admit() {
+		t.Fatal("empty bucket admitted a request")
+	}
+	now = now.Add(100 * time.Millisecond) // 10/s x 0.1s = exactly 1 token
+	if !admit() {
+		t.Fatal("refilled token not admitted")
+	}
+	if admit() {
+		t.Fatal("bucket admitted beyond its refill")
+	}
+	now = now.Add(time.Hour) // refill far beyond capacity: caps at Burst=2
+	if !admit() || !admit() {
+		t.Fatal("bucket did not refill to its burst capacity")
+	}
+	if admit() {
+		t.Fatal("bucket capacity exceeded Burst")
+	}
+	st := adm.snapshot()
+	if st.Offered != 8 || st.Admitted != 5 || st.Rejected != 3 || st.Shed != 0 {
+		t.Fatalf("ledger = %+v, want 8 = 5 + 0 + 3", st)
+	}
+	// An unconfigured tenant rides the default (unlimited) policy.
+	if v, _ := adm.decide(TenantInfo{ID: "other"}, 0); v != admitted {
+		t.Fatal("default-policy tenant rejected")
+	}
+}
+
+// TestAdmissionInvariant: under concurrent mixed-tenant load with rate
+// limits and shedding both active, every request that reaches admission is
+// accounted exactly once — offered == admitted + shed + rejected, globally
+// and per tenant.
+func TestAdmissionInvariant(t *testing.T) {
+	b := NewReplicated(Options{
+		MaxBatch:      4,
+		MaxDelay:      200 * time.Microsecond,
+		MaxQueueDepth: 4,
+		Tenants: map[TenantID]TenantConfig{
+			"limited": {Rate: 200, Burst: 5, Priority: PriorityBatch},
+		},
+	}, &stubBackend{}, &stubBackend{})
+	const (
+		workers = 8
+		iters   = 40
+	)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := TenantID("free")
+			if g%2 == 0 {
+				id = "limited"
+			}
+			ctx := WithTenant(context.Background(), TenantInfo{ID: id})
+			for i := 0; i < iters; i++ {
+				calls.Add(1)
+				b.PredictTensorCtx(ctx, screen(g*iters+i), 0, 0.45)
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if got := st.Admitted + st.Shed + st.Rejected; st.Offered != got {
+		t.Fatalf("offered %d != admitted %d + shed %d + rejected %d", st.Offered, st.Admitted, st.Shed, st.Rejected)
+	}
+	if st.Offered != int(calls.Load()) {
+		t.Fatalf("offered = %d, want every one of the %d submissions", st.Offered, calls.Load())
+	}
+	var tenantSum TenantStats
+	for _, ts := range st.Tenants {
+		if ts.Offered != ts.Admitted+ts.Shed+ts.Rejected {
+			t.Fatalf("per-tenant ledger broken: %+v", ts)
+		}
+		tenantSum.Offered += ts.Offered
+		tenantSum.Admitted += ts.Admitted
+		tenantSum.Shed += ts.Shed
+		tenantSum.Rejected += ts.Rejected
+	}
+	if tenantSum.Offered != st.Offered || tenantSum.Admitted != st.Admitted {
+		t.Fatalf("tenant ledgers %+v do not sum to the global %+v", tenantSum, st)
+	}
+}
+
+// TestRateLimitRejects: a tenant past its bucket gets ErrRateLimited naming
+// it, while an unlimited tenant on the same Batcher sails through.
+func TestRateLimitRejects(t *testing.T) {
+	b := NewReplicated(Options{
+		MaxBatch: 1, MaxDelay: time.Millisecond,
+		Tenants: map[TenantID]TenantConfig{"slow": {Rate: 0.001, Burst: 1}},
+	}, &stubBackend{})
+	defer b.Close()
+	ctx := WithTenant(context.Background(), TenantInfo{ID: "slow"})
+	if _, err := b.PredictTensorCtx(ctx, screen(1), 0, 0.45); err != nil {
+		t.Fatalf("burst request rejected: %v", err)
+	}
+	_, err := b.PredictTensorCtx(ctx, screen(2), 0, 0.45)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-budget err = %v, want ErrRateLimited", err)
+	}
+	if dets, err := b.PredictTensor(screen(3), 0, 0.45), error(nil); err != nil || dets[0].B.X != 3 {
+		t.Fatalf("unlimited default tenant blocked: %v %v", dets, err)
+	}
+}
+
+// TestSheddingDegraded: once the queues hold MaxQueueDepth requests, new
+// arrivals are shed and answered by the Degraded fallback chain in
+// microseconds — degrade, don't fail — and counted as Shed, not Admitted.
+func TestSheddingDegraded(t *testing.T) {
+	s := &stubBackend{gate: make(chan struct{})}
+	deg := &degradedStub{}
+	b := NewReplicated(Options{
+		MaxBatch: 1, MaxDelay: time.Millisecond,
+		MaxQueueDepth: 1,
+		Degraded:      deg,
+	}, s)
+	var wg sync.WaitGroup
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.PredictTensor(screen(i), 0, 0.45)
+		}()
+	}
+	submit(0) // taken by the worker, which parks behind the gate
+	waitFor(t, func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.calls == 1 })
+	submit(1) // admitted at depth 0, now waiting in the queue
+	waitFor(t, func() bool { return b.sched.depth() == 1 })
+	dets, err := b.PredictTensor(screen(7), 0, 0.45), error(nil)
+	if err != nil || len(dets) != 1 || dets[0].B.X != -1 {
+		t.Fatalf("shed request: dets=%v err=%v, want the degraded marker", dets, err)
+	}
+	if deg.calls.Load() != 1 {
+		t.Fatal("degraded fallback not consulted")
+	}
+	close(s.gate)
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if st.Offered != 3 || st.Admitted != 2 || st.Shed != 1 || st.Rejected != 0 {
+		t.Fatalf("ledger = offered %d admitted %d shed %d rejected %d, want 3/2/1/0",
+			st.Offered, st.Admitted, st.Shed, st.Rejected)
+	}
+	// Without a Degraded backend the shed surfaces as ErrOverloaded.
+	s2 := &stubBackend{gate: make(chan struct{})}
+	b2 := NewReplicated(Options{MaxBatch: 1, MaxDelay: time.Millisecond, MaxQueueDepth: 1}, s2)
+	wg.Add(1)
+	go func() { defer wg.Done(); b2.PredictTensor(screen(0), 0, 0.45) }()
+	waitFor(t, func() bool { s2.mu.Lock(); defer s2.mu.Unlock(); return s2.calls == 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); b2.PredictTensor(screen(1), 0, 0.45) }()
+	waitFor(t, func() bool { return b2.sched.depth() == 1 })
+	if _, err := b2.PredictTensorCtx(context.Background(), screen(9), 0, 0.45); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("bare shed err = %v, want ErrOverloaded", err)
+	}
+	close(s2.gate)
+	wg.Wait()
+	b2.Close()
+}
+
+// TestSchedulerNoStarvation: a batch-priority request must complete while a
+// live-priority flood is still running — the fairShare turn guarantees the
+// audit tier progresses statistically instead of waiting for quiet.
+func TestSchedulerNoStarvation(t *testing.T) {
+	b := NewReplicated(Options{MaxBatch: 2, MaxDelay: 100 * time.Microsecond}, &stubBackend{})
+	defer b.Close()
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		flood.Add(1)
+		go func(g int) {
+			defer flood.Done()
+			ctx := context.Background() // untagged = live priority
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.PredictTensorCtx(ctx, screen(g*1000+i), 0, 0.45)
+			}
+		}(g)
+	}
+	auditCtx := WithTenant(context.Background(), TenantInfo{ID: "audit", Priority: PriorityBatch})
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.PredictTensorCtx(auditCtx, screen(42), 0, 0.45)
+		done <- err
+	}()
+	select {
+	case err := <-done: // completed while the flood was still live
+		if err != nil {
+			t.Errorf("audit request failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("batch-priority request starved under live flood")
+	}
+	close(stop)
+	flood.Wait()
+}
+
+// TestCloseRaceNoSilentDrop hammers PredictTensorCtx against a concurrent
+// Close under -race: every request must be answered with its correct result
+// — before Close through the scheduler, after Close through the direct
+// degrade path — and none may hang or vanish in the window where the queues
+// close.
+func TestCloseRaceNoSilentDrop(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := &stubBackend{}
+		b := NewReplicated(Options{MaxBatch: 4, MaxDelay: 100 * time.Microsecond}, s, s)
+		const workers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10; i++ {
+					id := g*100 + i
+					dets, err := b.PredictTensorCtx(context.Background(), screen(id), 0, 0.45)
+					if err != nil {
+						t.Errorf("request %d: err = %v", id, err)
+						return
+					}
+					if len(dets) != 1 || dets[0].B.X != float64(id) {
+						t.Errorf("request %d: wrong result %v", id, dets)
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		b.Close() // races the in-flight submissions
+		wg.Wait()
+		// The scheduler is stopped; a fresh submission must degrade to a
+		// deterministic direct call, and the internal verdict is ErrClosed.
+		if _, err := b.submit(context.Background(), screen(1), 0, 0.45); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-Close submit err = %v, want ErrClosed", err)
+		}
+		b.Close() // idempotent
+	}
+}
+
+// TestReplicaPoolDistributes: with both replicas gated, two concurrent
+// requests must land on different replicas — the pool genuinely runs
+// forwards in parallel — and per-replica ledgers account them.
+func TestReplicaPoolDistributes(t *testing.T) {
+	gate := make(chan struct{})
+	r0 := &stubBackend{gate: gate}
+	r1 := &stubBackend{gate: gate}
+	b := NewReplicated(Options{MaxBatch: 1, MaxDelay: 100 * time.Microsecond}, r0, r1)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); b.PredictTensor(screen(i), 0, 0.45) }(i)
+	}
+	waitFor(t, func() bool {
+		r0.mu.Lock()
+		c0 := r0.calls
+		r0.mu.Unlock()
+		r1.mu.Lock()
+		c1 := r1.calls
+		r1.mu.Unlock()
+		return c0 == 1 && c1 == 1
+	})
+	close(gate)
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if len(st.Replicas) != 2 || st.Replicas[0].Items != 1 || st.Replicas[1].Items != 1 {
+		t.Fatalf("replica ledgers = %+v, want one item each", st.Replicas)
+	}
+}
+
+// TestReplicaPrivatePools: a multi-replica pool installs a distinct
+// tensor.Pool per poolable backend; the single-replica legacy constructor
+// leaves the backend's pooling untouched (bit-identical path).
+func TestReplicaPrivatePools(t *testing.T) {
+	p0, p1 := &poolStub{}, &poolStub{}
+	b := NewReplicated(Options{}, p0, p1)
+	b.Close()
+	if p0.pool == nil || p1.pool == nil {
+		t.Fatal("multi-replica pool left a backend without a private pool")
+	}
+	if p0.pool == p1.pool {
+		t.Fatal("replicas share one activation pool")
+	}
+	solo := &poolStub{}
+	NewBatcher(solo, Options{}).Close()
+	if solo.pool != nil {
+		t.Fatal("single-replica constructor must not touch the backend's pooling")
+	}
+}
+
+// TestReplicaBenching: a replica whose forwards fail consecutively is
+// benched for a cooldown while its healthy peer keeps serving; the bench
+// trip is recorded and traffic keeps being answered throughout.
+func TestReplicaBenching(t *testing.T) {
+	bad := &panicBackend{}
+	good := &stubBackend{}
+	b := NewReplicated(Options{
+		MaxBatch: 1, MaxDelay: 100 * time.Microsecond,
+		ReplicaBenchAfter: 2,
+		ReplicaBenchFor:   50 * time.Millisecond,
+	}, bad, good)
+	defer b.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.PredictTensor(screen(1), 0, 0.45) // errors from the bad replica are fine
+		benched := false
+		for _, r := range b.Stats().Replicas {
+			if r.BenchTrips >= 1 {
+				benched = true
+			}
+		}
+		if benched {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failing replica never benched: %+v", b.Stats().Replicas)
+		}
+	}
+	// While the bad replica sits out, the healthy one answers everything.
+	badCalls := bad.calls.Load()
+	for i := 0; i < 5; i++ {
+		dets, err := b.PredictTensorCtx(context.Background(), screen(9), 0, 0.45)
+		if err != nil || dets[0].B.X != 9 {
+			t.Fatalf("request during bench window: dets=%v err=%v", dets, err)
+		}
+	}
+	if bad.calls.Load() != badCalls {
+		t.Fatal("benched replica still received traffic")
+	}
+}
+
+// TestBenchingDisabledSingleReplica: one replica must never bench itself —
+// with no peer to absorb the load, benching would stall all traffic.
+func TestBenchingDisabledSingleReplica(t *testing.T) {
+	b := NewBatcher(&panicBackend{}, Options{
+		MaxBatch: 1, MaxDelay: 100 * time.Microsecond,
+		ReplicaBenchAfter: 1, ReplicaBenchFor: time.Hour,
+	})
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := b.PredictTensorCtx(context.Background(), screen(i), 0, 0.45); err == nil {
+			t.Fatal("panicking backend produced no error")
+		}
+	}
+	if st := b.Stats(); st.Replicas[0].BenchTrips != 0 {
+		t.Fatalf("single replica benched itself: %+v", st.Replicas[0])
+	}
+}
+
+// flakyBackend panics on every third call — enough failure to exercise
+// poison isolation and replica health under stress, with plenty of
+// successes in between.
+type flakyBackend struct {
+	stubBackend
+	n atomic.Int64
+}
+
+func (f *flakyBackend) PredictTensor(x *tensor.Tensor, n int, conf float64) []metrics.Detection {
+	if f.n.Add(1)%3 == 0 {
+		panic("flaky")
+	}
+	return f.stubBackend.PredictTensor(x, n, conf)
+}
+
+func (f *flakyBackend) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	if f.n.Add(1)%3 == 0 {
+		panic("flaky")
+	}
+	return f.stubBackend.PredictBatch(x, conf)
+}
+
+// TestReplicatedChaosCancelStress is the zero-dropped/zero-hung contract
+// under the worst mix: two flaky replicas, shedding active, random caller
+// cancellation, concurrent Close at the end. Every call must return (result
+// or error), the admission ledger must balance, and Close must drain.
+func TestReplicatedChaosCancelStress(t *testing.T) {
+	deg := &degradedStub{}
+	b := NewReplicated(Options{
+		MaxBatch: 4, MaxDelay: 200 * time.Microsecond,
+		MaxQueueDepth: 16,
+		Degraded:      deg,
+	}, &flakyBackend{}, &flakyBackend{})
+	const (
+		workers = 8
+		iters   = 50
+	)
+	var answered atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tenant := TenantInfo{ID: TenantID("t" + string(rune('0'+g%3))), Priority: Priority(g % 2)}
+			for i := 0; i < iters; i++ {
+				ctx := WithTenant(context.Background(), tenant)
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(4) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				}
+				b.PredictTensorCtx(ctx, screen(g*iters+i), 0, 0.45)
+				answered.Add(1)
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait() // a hang here is the failure mode this test exists for
+	b.Close()
+	if got := answered.Load(); got != workers*iters {
+		t.Fatalf("answered %d of %d calls", got, workers*iters)
+	}
+	st := b.Stats()
+	if st.Offered != st.Admitted+st.Shed+st.Rejected {
+		t.Fatalf("ledger unbalanced under chaos: %+v", st)
+	}
+	var repItems int
+	for _, r := range st.Replicas {
+		repItems += r.Items
+	}
+	if repItems == 0 {
+		t.Fatal("no replica served anything")
+	}
+}

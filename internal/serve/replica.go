@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/tensor"
+)
+
+// This file is the replica-pool layer: N independently-owned model instances,
+// each driven by its own worker goroutine and — when the backend supports it
+// — its own tensor.Pool, so recycled activations never cross replicas. Each
+// replica keeps its own health ledger; a replica whose forwards fail
+// consecutively is benched for a cooldown, the pool-level analogue of the
+// per-backend circuit breakers in detect.WithFallback: the breaker decides
+// whether a *backend* is trusted at all, benching decides whether one *copy*
+// of a trusted backend deserves traffic right now.
+
+// Defaults for the replica-health knobs left zero in Options.
+const (
+	// DefaultBenchAfter is how many consecutive fully-failed groups bench a
+	// replica.
+	DefaultBenchAfter = 5
+	// DefaultBenchFor is how long a benched replica sits out.
+	DefaultBenchFor = 50 * time.Millisecond
+)
+
+// poolable is the seam through which the pool hands a replica its private
+// activation pool; yolite.Model and quant.Model implement it.
+type poolable interface {
+	SetPool(*tensor.Pool)
+}
+
+// ReplicaStats is one replica's health and utilisation ledger.
+type ReplicaStats struct {
+	ID          int
+	Batches     int           // groups this replica ran
+	Items       int           // requests it answered
+	Failed      int           // requests answered with a non-cancellation error
+	Poisoned    int           // grouped forwards re-run item by item
+	Busy        time.Duration // wall time spent in forwards
+	Consecutive int           // current consecutive fully-failed groups
+	Benched     bool          // sitting out a cooldown right now
+	BenchTrips  int           // times this replica has been benched
+}
+
+// replica is one pooled model instance plus its health state.
+type replica struct {
+	id      int
+	backend detect.Predictor
+	pool    *tensor.Pool
+
+	benchAfter int           // consecutive failed groups before benching; <=0 disables
+	benchFor   time.Duration // cooldown length
+
+	mu           sync.Mutex
+	stats        ReplicaStats
+	benchedUntil time.Time
+}
+
+// newReplica wires one backend into the pool. When multi is true and the
+// backend exposes the poolable seam, the replica installs a private
+// tensor.Pool so its recycled activations never mix with another replica's.
+// Single-replica pools leave the backend's pooling exactly as the caller
+// configured it — the legacy NewBatcher path must stay bit-identical.
+func newReplica(id int, backend detect.Predictor, benchAfter int, benchFor time.Duration, multi bool) *replica {
+	r := &replica{
+		id:         id,
+		backend:    backend,
+		benchAfter: benchAfter,
+		benchFor:   benchFor,
+	}
+	r.stats.ID = id
+	if multi {
+		if p, ok := backend.(poolable); ok {
+			r.pool = tensor.NewPool()
+			p.SetPool(r.pool)
+		}
+	}
+	return r
+}
+
+// note folds one executed group into the health ledger. A group counts as
+// failed only when every member errored non-cancelled — a single poison item
+// says nothing about the replica, but a whole group failing repeatedly says
+// the instance (its weights, its memory, its accelerator) is sick.
+func (r *replica) note(wall time.Duration, items, failed int, poisoned bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Batches++
+	r.stats.Items += items
+	r.stats.Failed += failed
+	r.stats.Busy += wall
+	if poisoned {
+		r.stats.Poisoned++
+	}
+	if failed == items && items > 0 {
+		r.stats.Consecutive++
+		if r.benchAfter > 0 && r.stats.Consecutive >= r.benchAfter {
+			r.benchedUntil = time.Now().Add(r.benchFor)
+			r.stats.BenchTrips++
+			r.stats.Consecutive = 0
+		}
+	} else {
+		r.stats.Consecutive = 0
+	}
+}
+
+// waitBench blocks while the replica serves out a bench cooldown. Requests
+// keep flowing: the scheduler's queues are shared, so a benched replica's
+// work lands on its healthy peers for the duration.
+func (r *replica) waitBench() {
+	r.mu.Lock()
+	until := r.benchedUntil
+	r.stats.Benched = time.Now().Before(until)
+	benched := r.stats.Benched
+	r.mu.Unlock()
+	if benched {
+		time.Sleep(time.Until(until))
+		r.mu.Lock()
+		r.stats.Benched = false
+		r.mu.Unlock()
+	}
+}
+
+// snapshot copies the ledger.
+func (r *replica) snapshot() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

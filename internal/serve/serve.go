@@ -1,16 +1,24 @@
 // Package serve is the concurrent serving layer: it multiplexes many
-// independent auditors (simulated devices, store-audit workers) onto one
-// shared detector backend. Its core is the Batcher, a dynamic micro-batching
-// scheduler that coalesces concurrent single-screen Predict calls into one
-// PredictBatch forward, amortising the backbone across requests the way the
-// paper's accessibility service amortises one model across every app on the
-// device. The batch seam it drives is detect.PredictBatch, so any backend —
-// float, int8, cached, decorated — sits behind it unchanged.
+// independent auditors (simulated devices, store-audit workers) onto a shared
+// pool of detector replicas. It is built as three explicit layers —
+//
+//	admission  (admission.go)  per-tenant token buckets, priority assignment,
+//	                           queue-depth load shedding
+//	scheduler  (scheduler.go)  priority queues and dynamic batch formation
+//	                           (coalesce, then group by threshold + shape)
+//	replicas   (replica.go)    N independently-pooled model instances with
+//	                           per-replica health accounting and benching
+//
+// — fronted by the Batcher facade in this file, which preserves the original
+// single-replica PredictTensor/PredictTensorCtx contract bit-identically. The
+// batch seam it drives is detect.PredictBatch, so any backend — float, int8,
+// cached, decorated — sits behind it unchanged.
 package serve
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -26,7 +34,7 @@ const (
 	DefaultMaxDelay = 2 * time.Millisecond
 )
 
-// Options tune the scheduler.
+// Options tune the serving layers.
 type Options struct {
 	// MaxBatch caps how many requests one forward carries. A batch is
 	// flushed as soon as it is full.
@@ -36,13 +44,42 @@ type Options struct {
 	// batching; under light load every batch degenerates to size 1 and the
 	// only cost is one timer.
 	MaxDelay time.Duration
-	// QueueSize is the request channel's buffer (default 4x MaxBatch).
+	// QueueSize is each priority queue's buffer (default 4 x MaxBatch x
+	// replica count).
 	QueueSize int
-	// Timings optionally receives scheduler statistics: the "serve-batch"
-	// stage tracks per-item amortised latency and total items, and
-	// "serve-queued" counts requests found still waiting when a batch was
-	// collected (queue pressure). Nil disables recording.
+	// Timings optionally receives per-layer statistics: "serve-batch"
+	// tracks per-item amortised forward latency, "serve-queued" counts
+	// requests found waiting after a collection (queue pressure),
+	// "serve-rejected"/"serve-shed" count admission outcomes, and with
+	// multiple replicas "serve-replicaN" tracks per-replica items. Nil
+	// disables recording.
 	Timings *perfmodel.Timings
+
+	// Tenants is the admission table: per-tenant rate limits and priority.
+	// A tenant present here gets its configured priority regardless of what
+	// its requests' contexts claim. Tenants absent from the table get
+	// TenantDefaults. Nil means every tenant gets TenantDefaults.
+	Tenants map[TenantID]TenantConfig
+	// TenantDefaults is the policy for tenants not in Tenants. The zero
+	// value is unlimited rate at live priority — exactly the legacy
+	// behaviour, so existing callers admit everything unchanged.
+	TenantDefaults TenantConfig
+	// MaxQueueDepth sheds requests once the scheduler's queues hold this
+	// many; 0 disables shedding (legacy behaviour).
+	MaxQueueDepth int
+	// Degraded optionally answers shed requests with a cheap fallback
+	// (typically the frauddroid heuristic) through the detect.WithFallback
+	// machinery instead of an ErrOverloaded error — the paper's
+	// degrade-don't-fail stance applied to overload.
+	Degraded detect.Detector
+
+	// ReplicaBenchAfter benches a replica after this many consecutive
+	// fully-failed groups; 0 means DefaultBenchAfter, negative disables.
+	// Benching is always disabled when the pool has a single replica —
+	// benching the only instance would stall all traffic for no benefit.
+	ReplicaBenchAfter int
+	// ReplicaBenchFor is the bench cooldown; 0 means DefaultBenchFor.
+	ReplicaBenchFor time.Duration
 }
 
 // request is one in-flight Predict call: batch item n of tensor x, answered
@@ -62,7 +99,7 @@ type response struct {
 	err  error
 }
 
-// Stats is a point-in-time snapshot of scheduler activity.
+// Stats is a point-in-time snapshot across all three layers.
 type Stats struct {
 	Batches       int // forwards dispatched (after threshold grouping)
 	Items         int // requests served through the scheduler
@@ -71,33 +108,47 @@ type Stats struct {
 	Cancelled     int // requests pruned at batch formation (ctx dead in queue)
 	Poisoned      int // grouped forwards that failed and were re-run item by item
 	Failed        int // requests answered with a non-cancellation error
+
+	// Admission ledger; Offered == Admitted + Shed + Rejected always.
+	Offered  int
+	Admitted int
+	Shed     int
+	Rejected int
+	Tenants  map[TenantID]TenantStats
+
+	// Replicas holds one health/utilisation ledger per pool member.
+	Replicas []ReplicaStats
 }
 
-// Batcher coalesces concurrent Predict requests into batched forwards. It
-// implements detect.Detector and detect.BatchPredictor, so it drops into any
-// seam a backend fits — including under the middleware decorators, though
-// the natural stack is Batcher on the outside of the shared cache:
+// Batcher is the serving facade: admission in front, priority scheduler in
+// the middle, replica pool at the back. It implements detect.Detector and
+// detect.BatchPredictor, so it drops into any seam a backend fits — including
+// under the middleware decorators, though the natural stack is Batcher on the
+// outside of the shared cache:
 //
 //	shared := serve.NewBatcher(detect.WithResultCache(model, 256), serve.Options{})
 //
 // Safe for concurrent use. After Close, Predict degrades to direct
-// unbatched calls on the inner backend rather than failing.
+// unbatched calls on the first replica's backend rather than failing.
 type Batcher struct {
-	inner    detect.Predictor
-	maxBatch int
-	maxDelay time.Duration
+	inner    detect.Predictor // first replica's backend: direct path + post-Close
 	rec      *perfmodel.Timings
+	adm      *admission
+	sched    *scheduler
+	reps     []*replica
+	degraded detect.Predictor // fallback chain answering shed requests; may be nil
+	multi    bool
 
-	mu     sync.RWMutex // guards closed vs. sends on reqs
+	mu     sync.RWMutex // guards closed vs. sends on the scheduler queues
 	closed bool
-	reqs   chan request
-	done   chan struct{}
+	wg     sync.WaitGroup // one worker per replica
+	done   chan struct{}  // closed once every worker has drained and exited
 
 	statsMu sync.Mutex
 	stats   Stats
 }
 
-// The scheduler drops into every seam a backend fits.
+// The facade drops into every seam a backend fits.
 var (
 	_ detect.Detector              = (*Batcher)(nil)
 	_ detect.BatchPredictor        = (*Batcher)(nil)
@@ -105,10 +156,23 @@ var (
 	_ detect.ContextBatchPredictor = (*Batcher)(nil)
 )
 
-// NewBatcher starts the scheduler goroutine over inner. Callers own the
-// returned Batcher and should Close it to stop the goroutine; requests
-// in flight at Close are still answered.
+// NewBatcher starts the serving layers over a single backend — the legacy
+// constructor, exactly NewReplicated with a pool of one. Callers own the
+// returned Batcher and should Close it to stop the worker; requests in
+// flight at Close are still answered.
 func NewBatcher(inner detect.Predictor, opts Options) *Batcher {
+	return NewReplicated(opts, inner)
+}
+
+// NewReplicated starts the serving layers over a pool of replicas, one
+// worker goroutine per replica. Each replica should be an independent model
+// instance (see detect.BuildReplicas); with more than one replica, backends
+// exposing a SetPool seam get a private tensor.Pool each so recycled
+// activations never cross replicas. Panics when called with no replicas.
+func NewReplicated(opts Options, replicas ...detect.Predictor) *Batcher {
+	if len(replicas) == 0 {
+		panic("serve: NewReplicated requires at least one replica")
+	}
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
@@ -116,21 +180,40 @@ func NewBatcher(inner detect.Predictor, opts Options) *Batcher {
 		opts.MaxDelay = DefaultMaxDelay
 	}
 	if opts.QueueSize <= 0 {
-		opts.QueueSize = 4 * opts.MaxBatch
+		opts.QueueSize = 4 * opts.MaxBatch * len(replicas)
+	}
+	benchAfter := opts.ReplicaBenchAfter
+	switch {
+	case len(replicas) == 1 || benchAfter < 0:
+		benchAfter = 0
+	case benchAfter == 0:
+		benchAfter = DefaultBenchAfter
+	}
+	benchFor := opts.ReplicaBenchFor
+	if benchFor <= 0 {
+		benchFor = DefaultBenchFor
 	}
 	b := &Batcher{
-		inner:    inner,
-		maxBatch: opts.MaxBatch,
-		maxDelay: opts.MaxDelay,
-		rec:      opts.Timings,
-		reqs:     make(chan request, opts.QueueSize),
-		done:     make(chan struct{}),
+		inner: replicas[0],
+		rec:   opts.Timings,
+		adm:   newAdmission(opts.Tenants, opts.TenantDefaults, opts.MaxQueueDepth, nil),
+		sched: newScheduler(opts.MaxBatch, opts.MaxDelay, opts.QueueSize),
+		multi: len(replicas) > 1,
+		done:  make(chan struct{}),
 	}
-	go b.dispatch()
+	if opts.Degraded != nil {
+		b.degraded = detect.WithFallback(detect.FallbackOptions{Timings: opts.Timings}, opts.Degraded)
+	}
+	for i, backend := range replicas {
+		rep := newReplica(i, backend, benchAfter, benchFor, b.multi)
+		b.reps = append(b.reps, rep)
+		b.wg.Add(1)
+		go b.worker(rep)
+	}
 	return b
 }
 
-// Name reports the inner backend's name, so a batched detector still shows
+// Name reports the first replica's name, so a batched detector still shows
 // up as itself in tables and logs.
 func (b *Batcher) Name() string {
 	if d, ok := b.inner.(detect.Detector); ok {
@@ -139,17 +222,28 @@ func (b *Batcher) Name() string {
 	return "batched"
 }
 
-// Stats returns a snapshot of scheduler counters.
+// Stats returns a snapshot across the layers.
 func (b *Batcher) Stats() Stats {
 	b.statsMu.Lock()
-	defer b.statsMu.Unlock()
-	return b.stats
+	st := b.stats
+	b.statsMu.Unlock()
+	adm := b.adm.snapshot()
+	st.Offered, st.Admitted, st.Shed, st.Rejected = adm.Offered, adm.Admitted, adm.Shed, adm.Rejected
+	st.Tenants = adm.Tenants
+	st.Replicas = make([]ReplicaStats, len(b.reps))
+	for i, r := range b.reps {
+		st.Replicas[i] = r.snapshot()
+	}
+	return st
 }
 
-// Close stops accepting new batched work, waits for the scheduler to drain
-// every queued request, and stops its goroutine. Predict remains safe to
-// call afterwards — it falls through to direct inner calls. Close is
-// idempotent.
+// Close stops accepting new batched work, waits for every worker to drain
+// its queued requests, and stops the worker goroutines. Predict remains safe
+// to call afterwards — it falls through to direct inner calls. Close is
+// idempotent. The closed flag flips under the write lock while every
+// submission holds the read lock across its admission decision and enqueue,
+// so a request observes either an open Batcher (and is drained before Close
+// returns) or ErrClosed — never a closed queue mid-send.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -158,12 +252,13 @@ func (b *Batcher) Close() {
 		return
 	}
 	b.closed = true
-	close(b.reqs)
+	b.sched.close()
 	b.mu.Unlock()
-	<-b.done
+	b.wg.Wait()
+	close(b.done)
 }
 
-// PredictTensor submits one screen to the scheduler and blocks for its
+// PredictTensor submits one screen to the serving layers and blocks for its
 // result. The output is exactly what inner.PredictTensor would return: the
 // scheduler copies the item into a coalesced batch and the backends'
 // arithmetic is per-item independent (the invariant TestPredictBatchEquivalence
@@ -174,37 +269,70 @@ func (b *Batcher) PredictTensor(x *tensor.Tensor, n int, confThresh float64) []m
 }
 
 // PredictTensorCtx submits one screen with a per-request context. An
-// already-dead context is rejected before touching the queue; a context that
+// already-dead context is rejected before touching the layers; a context that
 // dies while the request is queued makes the caller return ctx.Err()
 // immediately (the scheduler prunes the abandoned request at batch formation
 // and never spends forward compute on it); a context that dies during the
 // forward still returns ctx.Err() promptly — the batch the request rode in
 // completes for its other members and the orphaned result is dropped into
-// the buffered response channel, so the scheduler never blocks on a caller
-// that left. A Background context is exactly the legacy PredictTensor.
+// the buffered response channel, so no worker ever blocks on a caller that
+// left. Tenant identity attached via WithTenant selects the rate bucket and
+// priority queue; a bare Background context is exactly the legacy
+// PredictTensor. After Close the call degrades to a direct inner call.
 func (b *Batcher) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	dets, err := b.submit(ctx, x, n, confThresh)
+	if errors.Is(err, ErrClosed) {
+		return detect.Predict(ctx, b.inner, x, n, confThresh)
+	}
+	return dets, err
+}
+
+// submit runs one request through admission and, if admitted, the scheduler.
+// The read lock spans the admission decision and the enqueue, making the
+// decision atomic with respect to Close: ErrClosed is deterministic, an
+// admitted request is always drained.
+func (b *Batcher) submit(ctx context.Context, x *tensor.Tensor, n int, confThresh float64) ([]metrics.Detection, error) {
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return detect.Predict(ctx, b.inner, x, n, confThresh)
+		return nil, ErrClosed
+	}
+	info := TenantFrom(ctx)
+	v, prio := b.adm.decide(info, b.sched.depth())
+	switch v {
+	case rejected:
+		b.mu.RUnlock()
+		b.rec.AddItems("serve-rejected", 1)
+		return nil, fmt.Errorf("%w: tenant %q", ErrRateLimited, info.ID)
+	case shed:
+		b.mu.RUnlock()
+		b.rec.AddItems("serve-shed", 1)
+		if b.degraded != nil {
+			// Degrade, don't fail: the fallback chain (heuristic detector
+			// behind a circuit breaker) answers in microseconds with a
+			// lower-fidelity result the decorator can still act on.
+			return detect.Predict(ctx, b.degraded, x, n, confThresh)
+		}
+		return nil, ErrOverloaded
 	}
 	resp := make(chan response, 1)
 	req := request{ctx: ctx, x: x, n: n, conf: confThresh, resp: resp}
-	// Send under the read lock: Close cannot close reqs while any sender
-	// holds it, and the buffered channel plus the draining dispatcher keep
-	// the critical section short. A cancellable caller stops waiting for
-	// queue space the moment its context dies.
+	q := b.sched.queues[prio]
+	// Send under the read lock: Close cannot close the queues while any
+	// sender holds it, and the buffered channel plus the draining workers
+	// keep the critical section short. A cancellable caller stops waiting
+	// for queue space the moment its context dies.
 	if ctx.Done() == nil {
-		b.reqs <- req
+		q <- req
 		b.mu.RUnlock()
 		r := <-resp
 		return r.dets, r.err
 	}
 	select {
-	case b.reqs <- req:
+	case q <- req:
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
@@ -231,34 +359,22 @@ func (b *Batcher) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThr
 	return detect.PredictBatchCtx(ctx, b.inner, x, confThresh)
 }
 
-// dispatch is the scheduler loop: block for the first request, then collect
-// followers until the batch is full or MaxDelay elapses, then flush. A
-// closed request channel drains naturally — collect stops appending, the
-// final flush answers the stragglers, and the next outer receive exits.
-func (b *Batcher) dispatch() {
-	defer close(b.done)
+// worker is one replica's serving loop: sit out any bench cooldown, claim
+// the first request of a batch, coalesce followers, flush. Closed queues
+// drain naturally — take returns the stragglers until ok=false, and the
+// worker exits. With N replicas, N workers pull from the shared priority
+// queues, so a slow or benched replica's share flows to its peers.
+func (b *Batcher) worker(rep *replica) {
+	defer b.wg.Done()
 	for {
-		first, ok := <-b.reqs
+		rep.waitBench()
+		first, ok := b.sched.take()
 		if !ok {
 			return
 		}
-		batch := append(make([]request, 0, b.maxBatch), first)
-		timer := time.NewTimer(b.maxDelay)
-	collect:
-		for len(batch) < b.maxBatch {
-			select {
-			case r, ok := <-b.reqs:
-				if !ok {
-					break collect
-				}
-				batch = append(batch, r)
-			case <-timer.C:
-				break collect
-			}
-		}
-		timer.Stop()
-		b.noteCollected(len(batch), len(b.reqs))
-		b.flush(batch)
+		batch := b.sched.collect(first)
+		b.noteCollected(len(batch), b.sched.depth())
+		b.flush(rep, batch)
 	}
 }
 
@@ -276,15 +392,14 @@ func (b *Batcher) noteCollected(size, depth int) {
 	b.rec.AddItems("serve-queued", depth)
 }
 
-// flush answers every request in batch. Requests whose context died while
-// they waited are pruned first — their callers have already returned (or are
-// about to), so spending forward compute on them is pure waste; each is
-// answered with its ctx.Err() into its buffered channel. Survivors are
-// grouped by confidence threshold and item shape — a batched forward carries
-// one threshold, and heterogeneous screens cannot share a tensor — then each
+// flush answers every request in batch on rep. Requests whose context died
+// while they waited are pruned first — their callers have already returned
+// (or are about to), so spending forward compute on them is pure waste; each
+// is answered with its ctx.Err() into its buffered channel. Survivors are
+// split by groupRequests — one threshold, one shape per forward — and each
 // group runs as one PredictBatch. Single-request groups skip the copy and
 // run directly.
-func (b *Batcher) flush(batch []request) {
+func (b *Batcher) flush(rep *replica, batch []request) {
 	live := batch[:0]
 	pruned := 0
 	for _, r := range batch {
@@ -298,41 +413,13 @@ func (b *Batcher) flush(batch []request) {
 	if pruned > 0 {
 		b.notePruned(pruned)
 	}
-	batch = live
-	for len(batch) > 0 {
-		// group gets its own array: the in-place tail filter below reuses
-		// batch's backing array, which an aliased append would clobber.
-		group := append(make([]request, 0, len(batch)), batch[0])
-		rest := batch[1:]
-		tail := batch[1:1]
-		for _, r := range rest {
-			if r.conf == group[0].conf && sameItemShape(r, group[0]) {
-				group = append(group, r)
-			} else {
-				tail = append(tail, r)
-			}
-		}
-		b.runGroup(group)
-		batch = tail
+	for _, group := range groupRequests(live) {
+		b.runGroup(rep, group)
 	}
 }
 
-// sameItemShape reports whether two requests' per-item tensors agree in
-// every non-batch dimension.
-func sameItemShape(a, c request) bool {
-	if len(a.x.Shape) != len(c.x.Shape) {
-		return false
-	}
-	for i := 1; i < len(a.x.Shape); i++ {
-		if a.x.Shape[i] != c.x.Shape[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// runGroup executes one homogeneous group as a single forward and fans the
-// results back out to their requesters. Failure containment is the
+// runGroup executes one homogeneous group as a single forward on rep and
+// fans the results back out to their requesters. Failure containment is the
 // scheduler's poison-item isolation: a grouped forward that panics, errors,
 // or returns a misaligned result slice is re-run item by item, so the one
 // poison item fails alone — with its own error — while the rest of the
@@ -340,13 +427,13 @@ func sameItemShape(a, c request) bool {
 // the dispatcher goroutine, leaving every queued and future caller blocked
 // forever; recovery at this seam is what keeps one bad screen from taking
 // down the whole fleet's serving stack.
-func (b *Batcher) runGroup(group []request) {
+func (b *Batcher) runGroup(rep *replica, group []request) {
 	start := time.Now()
 	if len(group) == 1 {
 		r := group[0]
-		dets, err := b.predictOne(r)
-		b.answer(r, dets, err)
-		b.noteBatch(time.Since(start), 1)
+		dets, err := b.predictOne(rep, r)
+		failed := b.answer(r, dets, err)
+		b.noteBatch(rep, time.Since(start), 1, failed, false)
 		return
 	}
 	item := group[0].x.Shape[1:]
@@ -358,56 +445,63 @@ func (b *Batcher) runGroup(group []request) {
 	for j, r := range group {
 		copy(sub.Data[j*per:(j+1)*per], r.x.Data[r.n*per:(r.n+1)*per])
 	}
-	res, err := b.predictGroup(sub, group[0].conf)
+	res, err := b.predictGroup(rep, sub, group[0].conf)
 	if err != nil || len(res) != len(group) {
 		// Poison isolation: one member spoiled the shared forward (or the
 		// backend misaligned the result mapping). Re-run each request on its
 		// own so the failure lands only on the item that caused it.
 		b.notePoisoned()
+		failed := 0
 		for _, r := range group {
-			dets, ierr := b.predictOne(r)
-			b.answer(r, dets, ierr)
+			dets, ierr := b.predictOne(rep, r)
+			failed += b.answer(r, dets, ierr)
 		}
-	} else {
-		for j, r := range group {
-			r.resp <- response{dets: res[j]}
-		}
+		b.noteBatch(rep, time.Since(start), len(group), failed, true)
+		return
 	}
-	b.noteBatch(time.Since(start), len(group))
+	for j, r := range group {
+		r.resp <- response{dets: res[j]}
+	}
+	b.noteBatch(rep, time.Since(start), len(group), 0, false)
 }
 
-// predictOne runs one request directly on the inner backend, converting a
-// panic to an error so the dispatcher survives any backend.
-func (b *Batcher) predictOne(r request) (dets []metrics.Detection, err error) {
+// predictOne runs one request directly on rep's backend, converting a panic
+// to an error so the worker survives any backend.
+func (b *Batcher) predictOne(rep *replica, r request) (dets []metrics.Detection, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			dets, err = nil, &detect.PanicError{Value: p}
 		}
 	}()
-	return detect.Predict(r.ctx, b.inner, r.x, r.n, r.conf)
+	return detect.Predict(r.ctx, rep.backend, r.x, r.n, r.conf)
 }
 
-// predictGroup runs one coalesced forward, converting a panic to an error.
-func (b *Batcher) predictGroup(sub *tensor.Tensor, conf float64) (res [][]metrics.Detection, err error) {
+// predictGroup runs one coalesced forward on rep's backend, converting a
+// panic to an error.
+func (b *Batcher) predictGroup(rep *replica, sub *tensor.Tensor, conf float64) (res [][]metrics.Detection, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, &detect.PanicError{Value: p}
 		}
 	}()
-	return detect.PredictBatchCtx(context.Background(), b.inner, sub, conf)
+	return detect.PredictBatchCtx(context.Background(), rep.backend, sub, conf)
 }
 
 // answer delivers one request's outcome, counting real failures (not
 // cancellations, which Stats.Cancelled and the caller's own ctx already
-// account for).
-func (b *Batcher) answer(r request, dets []metrics.Detection, err error) {
+// account for). It reports 1 for a counted failure so runGroup can fold the
+// tally into the replica's health ledger.
+func (b *Batcher) answer(r request, dets []metrics.Detection, err error) int {
+	failed := 0
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		failed = 1
 		b.statsMu.Lock()
 		b.stats.Failed++
 		b.statsMu.Unlock()
 		b.rec.AddItems("serve-failed", 1)
 	}
 	r.resp <- response{dets: dets, err: err}
+	return failed
 }
 
 // notePoisoned records one grouped forward that fell back to per-item
@@ -428,10 +522,15 @@ func (b *Batcher) notePruned(n int) {
 	b.rec.AddItems("serve-cancelled", n)
 }
 
-// noteBatch records one flushed forward.
-func (b *Batcher) noteBatch(wall time.Duration, items int) {
+// noteBatch records one flushed forward in the global counters, the timing
+// recorder, and the replica's health ledger.
+func (b *Batcher) noteBatch(rep *replica, wall time.Duration, items, failed int, poisoned bool) {
 	b.statsMu.Lock()
 	b.stats.Batches++
 	b.statsMu.Unlock()
 	b.rec.ObserveBatch("serve-batch", wall, items)
+	if b.multi {
+		b.rec.AddItems(fmt.Sprintf("serve-replica%d", rep.id), items)
+	}
+	rep.note(wall, items, failed, poisoned)
 }

@@ -22,14 +22,16 @@ func TestBatcherOptionDefaults(t *testing.T) {
 		{"negative", Options{MaxBatch: -3, MaxDelay: -time.Second, QueueSize: -7}},
 	} {
 		b := NewBatcher(&stubBackend{}, tc.opts)
-		if b.maxBatch != DefaultMaxBatch {
-			t.Errorf("%s: maxBatch = %d, want %d", tc.name, b.maxBatch, DefaultMaxBatch)
+		if b.sched.maxBatch != DefaultMaxBatch {
+			t.Errorf("%s: maxBatch = %d, want %d", tc.name, b.sched.maxBatch, DefaultMaxBatch)
 		}
-		if b.maxDelay != DefaultMaxDelay {
-			t.Errorf("%s: maxDelay = %v, want %v", tc.name, b.maxDelay, DefaultMaxDelay)
+		if b.sched.maxDelay != DefaultMaxDelay {
+			t.Errorf("%s: maxDelay = %v, want %v", tc.name, b.sched.maxDelay, DefaultMaxDelay)
 		}
-		if got := cap(b.reqs); got != 4*DefaultMaxBatch {
-			t.Errorf("%s: queue cap = %d, want %d", tc.name, got, 4*DefaultMaxBatch)
+		for p, q := range b.sched.queues {
+			if got := cap(q); got != 4*DefaultMaxBatch {
+				t.Errorf("%s: queue %d cap = %d, want %d", tc.name, p, got, 4*DefaultMaxBatch)
+			}
 		}
 		b.Close()
 	}
@@ -81,7 +83,7 @@ func TestBatcherPrunesCancelledQueued(t *testing.T) {
 			errc <- err
 		}(i)
 	}
-	waitFor(t, func() bool { return len(b.reqs) == 2 }) // both queued behind the gate
+	waitFor(t, func() bool { return b.sched.depth() == 2 }) // both queued behind the gate
 	cancel()
 	// Both callers return their ctx error without waiting for the gate.
 	for i := 0; i < 2; i++ {

@@ -89,6 +89,12 @@ func NewModel(seed int64) *Model {
 // Name identifies the backend in registries and result tables.
 func (m *Model) Name() string { return "yolite" }
 
+// SetPool installs the activation pool inference draws from — the seam the
+// serving layer's replica pool uses to give each replica a private pool so
+// recycled buffers never cross model instances. Must not be called while a
+// forward is in flight.
+func (m *Model) SetPool(p *tensor.Pool) { m.Pool = p }
+
 // Params returns every trainable tensor.
 func (m *Model) Params() []*tensor.Tensor {
 	var out []*tensor.Tensor
