@@ -15,12 +15,10 @@ package core
 import (
 	"context"
 	"errors"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/a11y"
-	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/geom"
 	"repro/internal/metrics"
@@ -503,8 +501,8 @@ func (s *Service) analyze() {
 // overlays added.
 func (s *Service) decorate(p PostprocessResult) int {
 	added := 0
-	for _, d := range p.Detections {
-		r := d.B.Rect().Inset(-s.cfg.strokeWidth())
+	for _, dec := range PlanDecorations(p.Detections, s.cfg.upoColor(), s.cfg.agoColor(), s.cfg.strokeWidth()) {
+		r := dec.Frame
 		// WindowManager.addView positions views relative to the app
 		// window; the model reports screen coordinates. Calibration
 		// subtracts the anchor-view offset (Figure 6 lines 8-9).
@@ -513,11 +511,7 @@ func (s *Service) decorate(p PostprocessResult) int {
 			lp = lp.Sub(p.Offset)
 		}
 		frame := geom.Rect{X: p.WinOrigin.X + lp.X, Y: p.WinOrigin.Y + lp.Y, W: r.W, H: r.H}
-		col := s.cfg.agoColor()
-		if d.Class == dataset.ClassUPO {
-			col = s.cfg.upoColor()
-		}
-		w := s.mgr.AddOverlay("org.darpa.aui", frame, decorationView(frame, s.cfg.strokeWidth(), col))
+		w := s.mgr.AddOverlay("org.darpa.aui", frame, decorationView(frame, dec.Stroke, dec.Color))
 		s.mu.Lock()
 		s.decorations = append(s.decorations, w)
 		s.stats.DecorationsDrawn++
@@ -546,18 +540,9 @@ func decorationView(frame geom.Rect, width int, col render.Color) *uikit.View {
 // harmlessly, while the real close button still gets hit. It returns the
 // number of clicks dispatched.
 func (s *Service) bypass(dets []metrics.Detection) int {
-	var upos []metrics.Detection
-	for _, d := range dets {
-		if d.Class == dataset.ClassUPO {
-			upos = append(upos, d)
-		}
-	}
+	upos := BypassTargets(dets)
 	if len(upos) == 0 {
 		return 0
-	}
-	sort.SliceStable(upos, func(i, j int) bool { return upos[i].Score > upos[j].Score })
-	if len(upos) > 3 {
-		upos = upos[:3]
 	}
 	s.mu.Lock()
 	s.stats.Bypasses++

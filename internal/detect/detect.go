@@ -73,10 +73,31 @@ func Named(name string, p Predictor) Detector {
 func PredictCanvas(p Predictor, c *render.Canvas, confThresh float64) []metrics.Detection {
 	x := yolite.CanvasToTensor(c)
 	dets := p.PredictTensor(x, 0, confThresh)
+	scaleToCanvas(dets, c)
+	return dets
+}
+
+// PredictCanvasCtx is PredictCanvas with a per-request context: tenant
+// identity and cancellation ride ctx into the backend (the serving layers
+// read both), and detections come back scaled to the canvas's coordinate
+// system. It is the one-call path a network front end needs: pixels in,
+// screen-coordinate detections out, admission errors surfaced.
+func PredictCanvasCtx(ctx context.Context, p Predictor, c *render.Canvas, confThresh float64) ([]metrics.Detection, error) {
+	x := yolite.CanvasToTensor(c)
+	dets, err := Predict(ctx, p, x, 0, confThresh)
+	if err != nil {
+		return nil, err
+	}
+	scaleToCanvas(dets, c)
+	return dets, nil
+}
+
+// scaleToCanvas maps model-input detections back onto canvas coordinates in
+// place.
+func scaleToCanvas(dets []metrics.Detection, c *render.Canvas) {
 	sx := float64(c.W) / float64(yolite.InputW)
 	sy := float64(c.H) / float64(yolite.InputH)
 	for i := range dets {
 		dets[i].B = dets[i].B.Scale(sx, sy)
 	}
-	return dets
 }

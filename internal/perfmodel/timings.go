@@ -137,7 +137,13 @@ func (t *Timings) ObserveBatch(stage string, d time.Duration, items int) {
 	if d > s.Max {
 		s.Max = d
 	}
-	s.sample(d)
+	// Event-only records (AddItems routes here with d == 0) advance the
+	// tally but stay out of the quantile ring: a stage mixing timed
+	// observations with event counts would otherwise report p50/p95 dragged
+	// toward 0 by samples that never measured anything.
+	if d > 0 {
+		s.sample(d)
+	}
 }
 
 // AddItems advances a stage's Count without contributing latency — for

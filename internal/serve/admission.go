@@ -242,7 +242,18 @@ func (a *admission) decide(info TenantInfo, depth int) (verdict, Priority) {
 
 	// Then global depth: the queues are already longer than the system can
 	// clear in bounded time, so shed now while a degraded answer is cheap.
+	// The token consumed above is refunded: shedding is the *system's*
+	// failure to keep up, not the tenant's overspend, and no forward will be
+	// run for this request. Without the refund a tenant flooding into an
+	// overloaded scheduler is later 429'd for requests that were 503'd —
+	// charged rate budget for work never served.
 	if a.maxDepth > 0 && depth >= a.maxDepth {
+		if s.cfg.Rate > 0 {
+			s.tokens++
+			if max := burst(s.cfg); s.tokens > max {
+				s.tokens = max
+			}
+		}
 		a.stats.Shed++
 		s.stats.Shed++
 		return shed, prio

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Regression tests for latent serving-layer bugs surfaced while wiring the
+// HTTP front end: shed requests must not burn tenant rate budget, and a
+// benched replica must not block pool shutdown.
+
+// TestShedRefundsTenantToken: admission consumes a rate token before the
+// queue-depth check, so a shed request historically burned budget for work
+// never served — under overload a tenant was later 429'd for requests that
+// were 503'd. The shed path must refund the token. Pinned with an injected
+// clock so refill cannot mask the burn.
+func TestShedRefundsTenantToken(t *testing.T) {
+	now := time.Unix(0, 0)
+	adm := newAdmission(
+		map[TenantID]TenantConfig{"t": {Rate: 1, Burst: 2}},
+		TenantConfig{}, 4,
+		func() time.Time { return now },
+	)
+	info := TenantInfo{ID: "t"}
+
+	// Queues at MaxQueueDepth: both requests are shed. The clock never
+	// advances, so no refill can restore a burned token.
+	for i := 0; i < 2; i++ {
+		if v, _ := adm.decide(info, 4); v != shed {
+			t.Fatalf("decide at depth 4 = %v, want shed", v)
+		}
+	}
+	// Queues drained: the tenant's burst of 2 must be intact — the shed
+	// requests did no work and must not have spent it.
+	for i := 0; i < 2; i++ {
+		if v, _ := adm.decide(info, 0); v != admitted {
+			t.Fatalf("request %d after sheds = %v, want admitted (shed burned rate budget)", i, v)
+		}
+	}
+	// And the bucket is genuinely empty now: exactly the 2 admitted
+	// requests spent it, nothing more, nothing less.
+	if v, _ := adm.decide(info, 0); v != rejected {
+		t.Fatal("bucket should be empty after spending the full burst")
+	}
+	st := adm.snapshot()
+	if st.Offered != 5 || st.Admitted != 2 || st.Shed != 2 || st.Rejected != 1 {
+		t.Fatalf("ledger = %+v, want 5 = 2 + 2 + 1", st)
+	}
+	// The refund must still cap at Burst: shedding a tenant whose bucket is
+	// already full cannot mint extra tokens.
+	now = now.Add(time.Hour) // refill to capacity
+	if v, _ := adm.decide(info, 4); v != shed {
+		t.Fatal("full-bucket request at depth not shed")
+	}
+	for i := 0; i < 2; i++ {
+		if v, _ := adm.decide(info, 0); v != admitted {
+			t.Fatalf("request %d after capped refund = %v, want admitted", i, v)
+		}
+	}
+	if v, _ := adm.decide(info, 0); v != rejected {
+		t.Fatal("refund on a full bucket minted a token beyond Burst")
+	}
+}
+
+// TestCloseWakesBenchedReplica: a benched replica used to sleep out its full
+// cooldown through Close, blocking shutdown for up to BenchFor. Close must
+// wake it so the pool drains immediately. Run under -race in CI.
+func TestCloseWakesBenchedReplica(t *testing.T) {
+	benchFor := 30 * time.Second // far beyond the test's tolerance for Close
+	p0, p1 := &panicBackend{}, &panicBackend{}
+	b := NewReplicated(Options{
+		MaxBatch:          2,
+		MaxDelay:          time.Millisecond,
+		ReplicaBenchAfter: 1,
+		ReplicaBenchFor:   benchFor,
+	}, p0, p1)
+
+	// Two fully-failed groups: each benches whichever replica ran it.
+	x := tensor.New(1, 3, 4, 4)
+	for i := 0; i < 2; i++ {
+		if _, err := b.PredictTensorCtx(context.Background(), x, 0, 0.5); err == nil {
+			t.Fatal("panicking backend returned no error")
+		}
+	}
+	// The bench is recorded after the response is delivered; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		trips := 0
+		for _, r := range b.Stats().Replicas {
+			trips += r.BenchTrips
+		}
+		if trips >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no replica was benched by fully-failed groups")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	b.Close()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Close took %v with a benched replica; want prompt wake (BenchFor=%v)", elapsed, benchFor)
+	}
+}

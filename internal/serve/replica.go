@@ -109,19 +109,27 @@ func (r *replica) note(wall time.Duration, items, failed int, poisoned bool) {
 
 // waitBench blocks while the replica serves out a bench cooldown. Requests
 // keep flowing: the scheduler's queues are shared, so a benched replica's
-// work lands on its healthy peers for the duration.
-func (r *replica) waitBench() {
+// work lands on its healthy peers for the duration. The sleep wakes early
+// when stop closes — a pool shutting down must not wait out a cooldown, it
+// needs every worker draining the queues so Close returns promptly.
+func (r *replica) waitBench(stop <-chan struct{}) {
 	r.mu.Lock()
 	until := r.benchedUntil
 	r.stats.Benched = time.Now().Before(until)
 	benched := r.stats.Benched
 	r.mu.Unlock()
-	if benched {
-		time.Sleep(time.Until(until))
-		r.mu.Lock()
-		r.stats.Benched = false
-		r.mu.Unlock()
+	if !benched {
+		return
 	}
+	t := time.NewTimer(time.Until(until))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+	r.mu.Lock()
+	r.stats.Benched = false
+	r.mu.Unlock()
 }
 
 // snapshot copies the ledger.

@@ -139,10 +139,11 @@ type Batcher struct {
 	degraded detect.Predictor // fallback chain answering shed requests; may be nil
 	multi    bool
 
-	mu     sync.RWMutex // guards closed vs. sends on the scheduler queues
-	closed bool
-	wg     sync.WaitGroup // one worker per replica
-	done   chan struct{}  // closed once every worker has drained and exited
+	mu       sync.RWMutex // guards closed vs. sends on the scheduler queues
+	closed   bool
+	wg       sync.WaitGroup // one worker per replica
+	stopping chan struct{}  // closed at Close: wakes benched replicas for the drain
+	done     chan struct{}  // closed once every worker has drained and exited
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -194,12 +195,13 @@ func NewReplicated(opts Options, replicas ...detect.Predictor) *Batcher {
 		benchFor = DefaultBenchFor
 	}
 	b := &Batcher{
-		inner: replicas[0],
-		rec:   opts.Timings,
-		adm:   newAdmission(opts.Tenants, opts.TenantDefaults, opts.MaxQueueDepth, nil),
-		sched: newScheduler(opts.MaxBatch, opts.MaxDelay, opts.QueueSize),
-		multi: len(replicas) > 1,
-		done:  make(chan struct{}),
+		inner:    replicas[0],
+		rec:      opts.Timings,
+		adm:      newAdmission(opts.Tenants, opts.TenantDefaults, opts.MaxQueueDepth, nil),
+		sched:    newScheduler(opts.MaxBatch, opts.MaxDelay, opts.QueueSize),
+		multi:    len(replicas) > 1,
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if opts.Degraded != nil {
 		b.degraded = detect.WithFallback(detect.FallbackOptions{Timings: opts.Timings}, opts.Degraded)
@@ -252,6 +254,10 @@ func (b *Batcher) Close() {
 		return
 	}
 	b.closed = true
+	// Wake any replica sleeping out a bench cooldown before closing the
+	// queues: a benched replica must join the drain immediately, not block
+	// shutdown for up to its remaining BenchFor.
+	close(b.stopping)
 	b.sched.close()
 	b.mu.Unlock()
 	b.wg.Wait()
@@ -367,7 +373,7 @@ func (b *Batcher) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, confThr
 func (b *Batcher) worker(rep *replica) {
 	defer b.wg.Done()
 	for {
-		rep.waitBench()
+		rep.waitBench(b.stopping)
 		first, ok := b.sched.take()
 		if !ok {
 			return
