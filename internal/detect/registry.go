@@ -89,7 +89,17 @@ func Build(name string, ctx BuildContext) (Detector, error) {
 	if !ok {
 		return nil, fmt.Errorf("detect: unknown detector %q (registered: %v)", name, Names())
 	}
-	return b(ctx)
+	d, err := b(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Backends with a fused inference form (the float detector folds conv +
+	// batch-norm + activation into one-pass blocks) build it eagerly here, so
+	// the first request a fresh replica serves does not pay the fold.
+	if f, ok := d.(interface{ Fuse() }); ok {
+		f.Fuse()
+	}
+	return d, nil
 }
 
 // Names lists the registered backends, sorted.

@@ -250,3 +250,27 @@ func LoadWeightsFile(path string, net tensor.Layer) error {
 func ConvBNAct(conv *tensor.Conv2D) *Sequential {
 	return NewSequential(conv, tensor.NewBatchNorm2D(conv.OutC), tensor.NewLeakyReLU())
 }
+
+// ConvBNActParts pulls the conv, batch-norm, and activation back out of a
+// ConvBNAct block — the accessor inference-time fusion (tensor.FuseConvBNAct)
+// and the int8 port both extract through. It panics if seq is not a
+// ConvBNAct-shaped sequential.
+func ConvBNActParts(seq *Sequential) (*tensor.Conv2D, *tensor.BatchNorm2D, *tensor.LeakyReLU) {
+	var conv *tensor.Conv2D
+	var bn *tensor.BatchNorm2D
+	var act *tensor.LeakyReLU
+	for _, l := range seq.Layers {
+		switch v := l.(type) {
+		case *tensor.Conv2D:
+			conv = v
+		case *tensor.BatchNorm2D:
+			bn = v
+		case *tensor.LeakyReLU:
+			act = v
+		}
+	}
+	if conv == nil || bn == nil || act == nil {
+		panic("nn: block is not a ConvBNAct sequential")
+	}
+	return conv, bn, act
+}

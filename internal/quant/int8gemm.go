@@ -1,0 +1,339 @@
+package quant
+
+// True int8 inference path: activations are quantised once at the network
+// input and stay int8 across the whole backbone. Each layer lowers to an
+// int8 im2col panel (shared with the float path via tensor.Im2colPanelI8)
+// and an int8 x int8 -> int32 blocked GEMM, and the epilogue requantises the
+// int32 accumulators straight to the next layer's int8 scale with the folded
+// bias and leaky-ReLU applied in the same pass:
+//
+//	q_out = clamp(round(leaky(acc*rq + bq))),  rq = wScale*inScale/outScale,
+//	                                           bq = bias/outScale
+//
+// which is algebraically the reference per-layer flow (dequantise, bias,
+// activation, requantise) with the two scale multiplications folded into one
+// constant — leaky-ReLU commutes with the positive scale 1/outScale. The
+// heads dequantise to float32 with exactly the reference epilogue
+// (float32(acc)*deq + bias), so decoded boxes match the per-plane loop
+// bit-for-bit given the same int8 activations (pinned by the property tests
+// in int8gemm_test.go).
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Int8 activation and int32 accumulator scratch, bucketed by power-of-two
+// capacity class so a request only ever reuses a buffer of the matching
+// class — the replacement for the old single-bucket qx pool, which thrashed
+// whenever two layers with different activation sizes alternated.
+var (
+	i8Buckets  [33]sync.Pool
+	i32Buckets [33]sync.Pool
+)
+
+func bucketFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+func getI8(n int) *[]int8 {
+	c := bucketFor(n)
+	if v := i8Buckets[c].Get(); v != nil {
+		p := v.(*[]int8)
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]int8, n, 1<<c)
+	return &b
+}
+
+func putI8(p *[]int8) {
+	if p == nil {
+		return
+	}
+	i8Buckets[bucketFor(cap(*p))].Put(p)
+}
+
+func getI32(n int) *[]int32 {
+	c := bucketFor(n)
+	if v := i32Buckets[c].Get(); v != nil {
+		p := v.(*[]int32)
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]int32, n, 1<<c)
+	return &b
+}
+
+func putI32(p *[]int32) { i32Buckets[bucketFor(cap(*p))].Put(p) }
+
+// quantI8 quantises float activations to int8: dst[i] =
+// clamp(round(src[i]/s)) with round-half-away-from-zero done entirely in
+// float32 — the add-a-half-and-truncate is bit-identical to the original
+// math.Round(float64(v/s)) because r and 0.5 share an ulp grid in every
+// binade that matters, so the sum is exact (pinned against the legacy form
+// by TestQuantI8MatchesLegacyOnCorpus). The float32 divide is kept rather
+// than a precomputed reciprocal multiply: v*(1/s) lands one ulp short of
+// half-integers that v/s hits exactly, flipping rounded values across the
+// calibration corpus.
+func quantI8(dst []int8, src []float32, s float32) {
+	for i, v := range src {
+		r := v / s
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		}
+		if r >= 0 {
+			dst[i] = int8(r + 0.5)
+		} else {
+			dst[i] = int8(r - 0.5)
+		}
+	}
+}
+
+// outSize returns the conv's spatial output size for an (h, w) input.
+func (q *qconv) outSize(h, w int) (int, int) {
+	return (h+2*q.pad-q.k)/q.stride + 1, (w+2*q.pad-q.k)/q.stride + 1
+}
+
+// colBlockI8 mirrors tensor's column blocking: int8 panels capped near 32
+// KiB, block width a multiple of 4 for the register tile.
+func colBlockI8(kdim, cols int) int {
+	b := (1 << 15) / kdim
+	if b > cols {
+		b = cols
+	}
+	if b < 16 {
+		b = 16
+	}
+	if b >= 8 {
+		b &^= 3
+	}
+	return b
+}
+
+// forwardI8 runs the quantised convolution on int8 activations and writes
+// requantised int8 outputs: qx is [N][inC][H][W] at q.inScale, out (length
+// N*outC*OH*OW) ends up at q.outScale. Work splits into (batch item, column
+// block) tasks on the shared worker pool, each a cooperative cancellation
+// checkpoint; once done closes, out is partially written and must be
+// discarded.
+func (q *qconv) forwardI8(qx []int8, N, H, W int, out []int8, done <-chan struct{}) {
+	OH, OW := q.outSize(H, W)
+	cols := OH * OW
+	kdim := q.inC * q.k * q.k
+	blk := colBlockI8(kdim, cols)
+	nBlocks := (cols + blk - 1) / blk
+	tasks := N * nBlocks
+	// The closure is only built inside the parallel branch so the serial
+	// path stays allocation-free (see tensor.ParallelWorthwhile).
+	if tensor.ParallelWorthwhile(N * q.outC * cols * kdim) {
+		tensor.ParallelForCancel(done, tasks, func(t int) {
+			q.i8Task(qx, N, H, W, out, nil, blk, nBlocks, t)
+		})
+		return
+	}
+	for t := 0; t < tasks; t++ {
+		if tensor.Aborted(done) {
+			return
+		}
+		q.i8Task(qx, N, H, W, out, nil, blk, nBlocks, t)
+	}
+}
+
+// forwardI8Float is forwardI8 with the dequantising head epilogue: the int32
+// accumulators become float32 exactly as the reference per-plane loop
+// computes them (float32(acc)*deq + bias, optional leaky-ReLU), written into
+// a pooled tensor.
+func (q *qconv) forwardI8Float(qx []int8, N, H, W int, p *tensor.Pool, done <-chan struct{}) *tensor.Tensor {
+	OH, OW := q.outSize(H, W)
+	y := p.Get(N, q.outC, OH, OW)
+	cols := OH * OW
+	kdim := q.inC * q.k * q.k
+	blk := colBlockI8(kdim, cols)
+	nBlocks := (cols + blk - 1) / blk
+	tasks := N * nBlocks
+	if tensor.ParallelWorthwhile(N * q.outC * cols * kdim) {
+		tensor.ParallelForCancel(done, tasks, func(t int) {
+			q.i8Task(qx, N, H, W, nil, y, blk, nBlocks, t)
+		})
+		return y
+	}
+	for t := 0; t < tasks; t++ {
+		if tensor.Aborted(done) {
+			return y
+		}
+		q.i8Task(qx, N, H, W, nil, y, blk, nBlocks, t)
+	}
+	return y
+}
+
+// i8Task runs one (batch item, column block) unit: unpack the int8 panel,
+// accumulate every output channel against it in int32, then requantise (out
+// != nil) or dequantise (yf != nil) the accumulator tile while it is
+// cache-hot.
+func (q *qconv) i8Task(qx []int8, N, H, W int, out []int8, yf *tensor.Tensor, blk, nBlocks, t int) {
+	n, b := t/nBlocks, t%nBlocks
+	OH, OW := q.outSize(H, W)
+	cols := OH * OW
+	kdim := q.inC * q.k * q.k
+	j0 := b * blk
+	j1 := j0 + blk
+	if j1 > cols {
+		j1 = cols
+	}
+	nc := j1 - j0
+	accBuf := getI32(q.outC * nc)
+	acc := *accBuf
+	if q.k == 1 && q.stride == 1 && q.pad == 0 {
+		// 1x1 stride-1: the panel is the input activations themselves.
+		bp := qx[n*q.inC*cols+j0:]
+		gemmI8(q.qw, kdim, bp, cols, acc, q.outC, kdim, nc)
+	} else {
+		panel := getI8(kdim * nc)
+		tensor.Im2colPanelI8(qx[n*q.inC*H*W:(n+1)*q.inC*H*W], q.inC, H, W, q.k, q.stride, q.pad, OW, j0, j1, *panel)
+		gemmI8(q.qw, kdim, *panel, nc, acc, q.outC, kdim, nc)
+		putI8(panel)
+	}
+	outBase := n*q.outC*cols + j0
+	if out != nil {
+		for oc := 0; oc < q.outC; oc++ {
+			rq, bq := q.rq[oc], q.bq[oc]
+			row := acc[oc*nc : (oc+1)*nc]
+			dst := out[outBase+oc*cols : outBase+oc*cols+nc]
+			for j, a := range row {
+				v := float32(a)*rq + bq
+				if q.relu && v < 0 {
+					v *= 0.1
+				}
+				if v > 127 {
+					v = 127
+				} else if v < -127 {
+					v = -127
+				}
+				if v >= 0 {
+					dst[j] = int8(v + 0.5)
+				} else {
+					dst[j] = int8(v - 0.5)
+				}
+			}
+		}
+	} else {
+		for oc := 0; oc < q.outC; oc++ {
+			deq := q.wScale[oc] * q.inScale
+			bias := q.b[oc]
+			row := acc[oc*nc : (oc+1)*nc]
+			dst := yf.Data[outBase+oc*cols : outBase+oc*cols+nc]
+			for j, a := range row {
+				v := float32(a)*deq + bias
+				if q.relu && v < 0 {
+					v *= 0.1
+				}
+				dst[j] = v
+			}
+		}
+	}
+	putI32(accBuf)
+}
+
+// gemmI8 computes acc[m*nc+j] = sum_k a[m*lda+k]*b[k*ldb+j] in int32 for m
+// in [0,M), j in [0,nc). Same 4x4 register tile as the float gemmBlock;
+// integer accumulation is exact, so tiling order cannot change the result.
+func gemmI8(a []int8, lda int, b []int8, ldb int, acc []int32, M, K, nc int) {
+	m := 0
+	for ; m+4 <= M; m += 4 {
+		a0 := a[(m+0)*lda : (m+0)*lda+K]
+		a1 := a[(m+1)*lda : (m+1)*lda+K]
+		a2 := a[(m+2)*lda : (m+2)*lda+K]
+		a3 := a[(m+3)*lda : (m+3)*lda+K]
+		j := 0
+		for ; j+4 <= nc; j += 4 {
+			var c00, c01, c02, c03 int32
+			var c10, c11, c12, c13 int32
+			var c20, c21, c22, c23 int32
+			var c30, c31, c32, c33 int32
+			off := j
+			for k := 0; k < K; k++ {
+				b0, b1, b2, b3 := int32(b[off]), int32(b[off+1]), int32(b[off+2]), int32(b[off+3])
+				av := int32(a0[k])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[k])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+				av = int32(a2[k])
+				c20 += av * b0
+				c21 += av * b1
+				c22 += av * b2
+				c23 += av * b3
+				av = int32(a3[k])
+				c30 += av * b0
+				c31 += av * b1
+				c32 += av * b2
+				c33 += av * b3
+				off += ldb
+			}
+			r := (m + 0) * nc
+			acc[r+j], acc[r+j+1], acc[r+j+2], acc[r+j+3] = c00, c01, c02, c03
+			r = (m + 1) * nc
+			acc[r+j], acc[r+j+1], acc[r+j+2], acc[r+j+3] = c10, c11, c12, c13
+			r = (m + 2) * nc
+			acc[r+j], acc[r+j+1], acc[r+j+2], acc[r+j+3] = c20, c21, c22, c23
+			r = (m + 3) * nc
+			acc[r+j], acc[r+j+1], acc[r+j+2], acc[r+j+3] = c30, c31, c32, c33
+		}
+		for ; j < nc; j++ {
+			var cc0, cc1, cc2, cc3 int32
+			off := j
+			for k := 0; k < K; k++ {
+				bv := int32(b[off])
+				cc0 += int32(a0[k]) * bv
+				cc1 += int32(a1[k]) * bv
+				cc2 += int32(a2[k]) * bv
+				cc3 += int32(a3[k]) * bv
+				off += ldb
+			}
+			acc[(m+0)*nc+j] = cc0
+			acc[(m+1)*nc+j] = cc1
+			acc[(m+2)*nc+j] = cc2
+			acc[(m+3)*nc+j] = cc3
+		}
+	}
+	for ; m < M; m++ {
+		arow := a[m*lda : m*lda+K]
+		j := 0
+		for ; j+4 <= nc; j += 4 {
+			var cc0, cc1, cc2, cc3 int32
+			off := j
+			for k := 0; k < K; k++ {
+				av := int32(arow[k])
+				cc0 += av * int32(b[off])
+				cc1 += av * int32(b[off+1])
+				cc2 += av * int32(b[off+2])
+				cc3 += av * int32(b[off+3])
+				off += ldb
+			}
+			r := m * nc
+			acc[r+j], acc[r+j+1], acc[r+j+2], acc[r+j+3] = cc0, cc1, cc2, cc3
+		}
+		for ; j < nc; j++ {
+			var s int32
+			off := j
+			for k := 0; k < K; k++ {
+				s += int32(arow[k]) * int32(b[off])
+				off += ldb
+			}
+			acc[m*nc+j] = s
+		}
+	}
+}

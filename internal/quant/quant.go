@@ -14,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
@@ -31,20 +30,12 @@ type foldedConv struct {
 }
 
 // FoldConvBN combines a convolution and its batch norm into a single
-// convolution: w' = w * gamma/std, b' = beta + (b - mean) * gamma/std.
+// convolution: w' = w * gamma/std, b' = beta + (b - mean) * gamma/std. The
+// implementation lives in tensor.FoldConvBN so the float fused-inference
+// blocks (tensor.FuseConvBNAct) and this int8 port fold through the same
+// arithmetic.
 func FoldConvBN(conv *tensor.Conv2D, bn *tensor.BatchNorm2D) (w []float32, b []float32) {
-	per := conv.InC * conv.K * conv.K
-	w = make([]float32, conv.OutC*per)
-	b = make([]float32, conv.OutC)
-	for oc := 0; oc < conv.OutC; oc++ {
-		std := float32(math.Sqrt(float64(bn.RunVar[oc] + bn.Eps)))
-		scale := bn.Gamma.Data[oc] / std
-		for i := 0; i < per; i++ {
-			w[oc*per+i] = conv.W.Data[oc*per+i] * scale
-		}
-		b[oc] = bn.Beta.Data[oc] + (conv.B.Data[oc]-bn.RunMean[oc])*scale
-	}
-	return w, b
+	return tensor.FoldConvBN(conv, bn)
 }
 
 // qconv is an int8-quantised convolution layer.
@@ -54,6 +45,16 @@ type qconv struct {
 	wScale  []float32 // per-output-channel weight scale
 	inScale float32   // activation scale (from calibration)
 	relu    bool      // apply leaky-ReLU(0.1) after
+
+	// End-to-end int8 chain constants, set by Model.link once every
+	// calibration scale is known. outScale is the next layer's inScale (the
+	// trunk's is shared by the UPO head and B4 — calibration observes the
+	// same tensor for both, and link makes the equality structural); rq and
+	// bq fold dequantise + bias + requantise into one multiply-add per
+	// accumulator: rq = wScale*inScale/outScale, bq = bias/outScale. Heads
+	// emit float32 and leave them nil.
+	outScale float32
+	rq, bq   []float32
 }
 
 // quantiseWeights converts folded float weights to int8 with per-channel
@@ -99,20 +100,17 @@ func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool, done <-chan struct{}) 
 	if C != q.inC {
 		panic(fmt.Sprintf("quant: conv expects %d channels, got %d", q.inC, C))
 	}
-	oh := (H+2*q.pad-q.k)/q.stride + 1
-	ow := (W+2*q.pad-q.k)/q.stride + 1
-	// Quantise the input activations.
+	oh, ow := q.outSize(H, W)
+	// Quantise the input activations (float32 round — see quantI8).
 	var qx []int8
 	if p != nil {
-		scratch := getQx(len(x.Data))
-		defer putQx(scratch)
+		scratch := getI8(len(x.Data))
+		defer putI8(scratch)
 		qx = *scratch
 	} else {
 		qx = make([]int8, len(x.Data))
 	}
-	for i, v := range x.Data {
-		qx[i] = int8(clamp(math.Round(float64(v/q.inScale)), -127, 127))
-	}
+	quantI8(qx, x.Data, q.inScale)
 	y := p.Get(N, q.outC, oh, ow) // nil pool: falls back to tensor.New
 	tasks := N * q.outC
 	if tensor.ParallelWorthwhile(tasks * oh * ow * q.inC * q.k * q.k) {
@@ -127,25 +125,6 @@ func (q *qconv) forward(x *tensor.Tensor, p *tensor.Pool, done <-chan struct{}) 
 	}
 	return y
 }
-
-// qxPool recycles the int8 activation scratch across pooled forwards; the
-// buffers are fully overwritten before use. Slice-header pointers are
-// pooled so Put itself does not allocate an interface box.
-var qxPool sync.Pool
-
-func getQx(n int) *[]int8 {
-	if v := qxPool.Get(); v != nil {
-		p := v.(*[]int8)
-		if cap(*p) >= n {
-			*p = (*p)[:n]
-			return p
-		}
-	}
-	b := make([]int8, n)
-	return &b
-}
-
-func putQx(p *[]int8) { qxPool.Put(p) }
 
 // forwardPlane fills output plane (n, oc) from the quantised activations.
 // Planes write disjoint slices of y, so they are safe to run concurrently.
@@ -210,26 +189,8 @@ type Model struct {
 	Pool *tensor.Pool
 }
 
-// extractConvBN pulls the conv and BN out of an nn.ConvBNAct block.
-func extractConvBN(seq *nn.Sequential) (*tensor.Conv2D, *tensor.BatchNorm2D) {
-	var conv *tensor.Conv2D
-	var bn *tensor.BatchNorm2D
-	for _, l := range seq.Layers {
-		switch v := l.(type) {
-		case *tensor.Conv2D:
-			conv = v
-		case *tensor.BatchNorm2D:
-			bn = v
-		}
-	}
-	if conv == nil || bn == nil {
-		panic("quant: block is not a ConvBNAct sequential")
-	}
-	return conv, bn
-}
-
 func newQConvFromBlock(seq *nn.Sequential) *qconv {
-	conv, bn := extractConvBN(seq)
+	conv, bn, _ := nn.ConvBNActParts(seq)
 	q := &qconv{foldedConv: foldedConv{
 		inC: conv.InC, outC: conv.OutC, k: conv.K, stride: conv.Stride, pad: conv.Pad,
 	}, relu: true}
@@ -264,7 +225,32 @@ func Port(m *yolite.Model, calib []*dataset.Sample) *Model {
 		Pool:          m.Pool,
 	}
 	qm.calibrate(m, calib)
+	qm.link()
 	return qm
+}
+
+// link derives the end-to-end int8 chain constants from the calibration
+// scales: each backbone layer's output scale is the scale its consumer
+// quantises with, so activations flow between layers as int8 without a float
+// round trip. The stride-8 trunk feeds both the UPO head and B4; calibration
+// observed the same tensor for both inputs, and link pins the head to the
+// deep chain's scale so the shared buffer is valid for both by construction.
+func (qm *Model) link() {
+	qm.upoHead.inScale = qm.deep[0].inScale
+	chain := []*qconv{qm.blocks[0], qm.blocks[1], qm.blocks[2], qm.blocks[3], qm.deep[0], qm.deep[1]}
+	next := []float32{
+		qm.blocks[1].inScale, qm.blocks[2].inScale, qm.blocks[3].inScale,
+		qm.deep[0].inScale, qm.deep[1].inScale, qm.agoHead.inScale,
+	}
+	for i, l := range chain {
+		l.outScale = next[i]
+		l.rq = make([]float32, l.outC)
+		l.bq = make([]float32, l.outC)
+		for oc := 0; oc < l.outC; oc++ {
+			l.rq[oc] = l.wScale[oc] * l.inScale / l.outScale
+			l.bq[oc] = l.b[oc] / l.outScale
+		}
+	}
 }
 
 // calibrate runs the float model over the calibration set recording the
@@ -313,87 +299,89 @@ func (qm *Model) calibrate(m *yolite.Model, calib []*dataset.Sample) {
 	}
 }
 
-// Forward runs the quantised network, returning both raw head maps. With a
-// Pool installed, intermediates return to it as soon as their consumers are
-// done; the returned head maps are pooled buffers owned by the caller.
+// Forward runs the quantised network, returning both raw head maps. The
+// input is quantised to int8 once and the activations stay int8 across the
+// entire backbone (see int8gemm.go); only the head outputs come back as
+// float32, drawn from the Pool when one is installed — those are pooled
+// buffers owned by the caller. The int8 intermediates recycle through the
+// bucketed int8 scratch pool, so the steady-state forward is allocation
+// free.
 func (qm *Model) Forward(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
-	p := qm.Pool
-	h := x
-	for _, b := range qm.blocks {
-		y := b.forward(h, p, nil)
-		if h != x {
-			p.Put(h)
-		}
-		h = y
-	}
-	upo = qm.upoHead.forward(h, p, nil)
-	d := h
-	for _, b := range qm.deep {
-		y := b.forward(d, p, nil)
-		if d != x {
-			p.Put(d) // for the first deep block this releases the trunk,
-			// whose second consumer (the UPO head) has already run
-		}
-		d = y
-	}
-	ago = qm.agoHead.forward(d, p, nil)
-	if d != x {
-		p.Put(d)
-	}
+	upo, ago, _ = qm.forwardInt8(nil, x)
 	return upo, ago
 }
 
 // forwardCancel mirrors Forward with a cooperative cancellation checkpoint
-// between layers (and, via the done channel, between output planes inside
-// each layer). It returns ctx.Err() as soon as the cancel is observed,
-// parking any partially written activations back in the pool. Only called
-// with a cancellable context — the Background path stays on Forward.
+// between layers (and, via the done channel, between column-block tasks
+// inside each layer). It returns ctx.Err() as soon as the cancel is
+// observed, parking any partially written activations back in their pools.
+// Only called with a cancellable context — the Background path stays on
+// Forward.
 func (qm *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *tensor.Tensor, err error) {
+	return qm.forwardInt8(ctx, x)
+}
+
+// forwardInt8 is the end-to-end int8 pipeline shared by Forward (nil ctx)
+// and forwardCancel. Layer outputs at each step carry the scale the next
+// layer expects (see link), so no float activations exist between the input
+// quantisation and the head dequantisation.
+func (qm *Model) forwardInt8(ctx context.Context, x *tensor.Tensor) (upo, ago *tensor.Tensor, err error) {
 	p := qm.Pool
-	done := ctx.Done()
-	h := x
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	N, _, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cur := getI8(len(x.Data))
+	quantI8(*cur, x.Data, qm.blocks[0].inScale)
 	for _, b := range qm.blocks {
-		y := b.forward(h, p, done)
-		if h != x {
-			p.Put(h)
-		}
-		h = y
-		if err := ctx.Err(); err != nil {
-			p.Put(h)
+		oh, ow := b.outSize(h, w)
+		nxt := getI8(N * b.outC * oh * ow)
+		b.forwardI8(*cur, N, h, w, *nxt, done)
+		putI8(cur)
+		cur, h, w = nxt, oh, ow
+		if err := ctxErr(ctx); err != nil {
+			putI8(cur)
 			return nil, nil, err
 		}
 	}
-	upo = qm.upoHead.forward(h, p, done)
-	if err := ctx.Err(); err != nil {
-		if h != x {
-			p.Put(h)
-		}
+	// cur is the stride-8 trunk, int8 at the scale both consumers expect.
+	upo = qm.upoHead.forwardI8Float(*cur, N, h, w, p, done)
+	if err := ctxErr(ctx); err != nil {
+		putI8(cur)
 		p.Put(upo)
 		return nil, nil, err
 	}
-	d := h
 	for _, b := range qm.deep {
-		y := b.forward(d, p, done)
-		if d != x {
-			p.Put(d)
-		}
-		d = y
-		if err := ctx.Err(); err != nil {
-			p.Put(d)
+		oh, ow := b.outSize(h, w)
+		nxt := getI8(N * b.outC * oh * ow)
+		b.forwardI8(*cur, N, h, w, *nxt, done)
+		putI8(cur) // for the first deep block this releases the trunk,
+		// whose second consumer (the UPO head) has already run
+		cur, h, w = nxt, oh, ow
+		if err := ctxErr(ctx); err != nil {
+			putI8(cur)
 			p.Put(upo)
 			return nil, nil, err
 		}
 	}
-	ago = qm.agoHead.forward(d, p, done)
-	if d != x {
-		p.Put(d)
-	}
-	if err := ctx.Err(); err != nil {
+	ago = qm.agoHead.forwardI8Float(*cur, N, h, w, p, done)
+	putI8(cur)
+	if err := ctxErr(ctx); err != nil {
 		p.Put(upo)
 		p.Put(ago)
 		return nil, nil, err
 	}
 	return upo, ago, nil
+}
+
+// ctxErr is ctx.Err() tolerating the nil ctx the uncancellable Forward path
+// passes.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // PredictTensor implements yolite.Predictor with int8 inference. Like the

@@ -1,0 +1,7 @@
+//go:build !race
+
+package quant
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are meaningless under its instrumentation.
+const raceEnabled = false

@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// FoldConvBN combines a convolution and the batch norm that follows it into
+// a single convolution: w' = w * gamma/std, b' = beta + (b - mean) *
+// gamma/std. This is the paper's "replace the internal redundant
+// calculations in the model with constants" step; the int8 port
+// (quant.FoldConvBN) and the float fused inference blocks both fold through
+// it.
+func FoldConvBN(conv *Conv2D, bn *BatchNorm2D) (w []float32, b []float32) {
+	per := conv.InC * conv.K * conv.K
+	w = make([]float32, conv.OutC*per)
+	b = make([]float32, conv.OutC)
+	for oc := 0; oc < conv.OutC; oc++ {
+		std := float32(math.Sqrt(float64(bn.RunVar[oc] + bn.Eps)))
+		scale := bn.Gamma.Data[oc] / std
+		for i := 0; i < per; i++ {
+			w[oc*per+i] = conv.W.Data[oc*per+i] * scale
+		}
+		b[oc] = bn.Beta.Data[oc] + (conv.B.Data[oc]-bn.RunMean[oc])*scale
+	}
+	return w, b
+}
+
+// FusedConvBNAct is the one-pass inference form of a conv → batch-norm →
+// leaky-ReLU block: the batch-norm constants are folded into the weights at
+// build time and the activation runs in the GEMM epilogue, so the block
+// writes its output feature map exactly once instead of walking three
+// tensors. It is inference-only — it snapshots the source layers' weights
+// and records no backward bookkeeping, so it must be rebuilt (Fuse again)
+// after the underlying layers train or load new weights.
+type FusedConvBNAct struct {
+	InC, OutC, K, Stride, Pad int
+	W                         []float32 // folded weights [OutC][InC*K*K]
+	B                         []float32 // folded bias [OutC]
+	Slope                     float32   // leaky-ReLU negative slope
+}
+
+var (
+	_ PooledLayer = (*FusedConvBNAct)(nil)
+	_ CancelLayer = (*FusedConvBNAct)(nil)
+)
+
+// FuseConvBNAct folds conv and bn into a single fused block with act's
+// slope applied in the epilogue.
+func FuseConvBNAct(conv *Conv2D, bn *BatchNorm2D, act *LeakyReLU) *FusedConvBNAct {
+	w, b := FoldConvBN(conv, bn)
+	return &FusedConvBNAct{
+		InC: conv.InC, OutC: conv.OutC, K: conv.K, Stride: conv.Stride, Pad: conv.Pad,
+		W: w, B: b, Slope: act.Slope,
+	}
+}
+
+// OutSize returns the spatial output size for an input of size (h, w).
+func (f *FusedConvBNAct) OutSize(h, w int) (int, int) {
+	oh := (h+2*f.Pad-f.K)/f.Stride + 1
+	ow := (w+2*f.Pad-f.K)/f.Stride + 1
+	return oh, ow
+}
+
+// ForwardPooled runs the fused block into a pooled buffer.
+func (f *FusedConvBNAct) ForwardPooled(x *Tensor, p *Pool) *Tensor {
+	return f.ForwardCancel(x, p, nil)
+}
+
+// ForwardCancel is ForwardPooled with the standard cooperative cancellation
+// contract: once done closes the returned buffer is partially written and
+// the caller must discard it.
+func (f *FusedConvBNAct) ForwardCancel(x *Tensor, p *Pool, done <-chan struct{}) *Tensor {
+	N, C, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if C != f.InC {
+		panic(fmt.Sprintf("tensor: fused conv expects %d input channels, got %d", f.InC, C))
+	}
+	OH, OW := f.OutSize(H, W)
+	y := p.Get(N, f.OutC, OH, OW)
+	spec := convSpec{inC: f.InC, outC: f.OutC, kk: f.K, stride: f.Stride, pad: f.Pad}
+	kdim := f.InC * f.K * f.K
+	if f.OutC*OH*OW*kdim >= gemmMinWork {
+		convGemmInto(x, y, spec, f.W, f.B, true, f.Slope, p, done)
+		return y
+	}
+	// Small-shape fallback: direct loop over output planes, activation
+	// applied per plane — still one pass over the output.
+	for n := 0; n < N; n++ {
+		for oc := 0; oc < f.OutC; oc++ {
+			if Aborted(done) {
+				return y
+			}
+			directConvPlane(x, y, spec, f.W, f.B[oc], n, oc)
+			base := ((n*f.OutC + oc) * OH) * OW
+			row := y.Data[base : base+OH*OW]
+			for i, v := range row {
+				if v < 0 {
+					row[i] = f.Slope * v
+				}
+			}
+		}
+	}
+	return y
+}

@@ -1,0 +1,266 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// directConvRef computes the convolution with the plain nested loop for every
+// output plane — the reference the GEMM path must match bit-for-bit.
+func directConvRef(x *Tensor, spec convSpec, w, bias []float32) *Tensor {
+	N, _, H, W := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	OH := (H+2*spec.pad-spec.kk)/spec.stride + 1
+	OW := (W+2*spec.pad-spec.kk)/spec.stride + 1
+	y := New(N, spec.outC, OH, OW)
+	for n := 0; n < N; n++ {
+		for oc := 0; oc < spec.outC; oc++ {
+			directConvPlane(x, y, spec, w, bias[oc], n, oc)
+		}
+	}
+	return y
+}
+
+// randomConv builds a random input and weight set for a given geometry.
+func randomConv(rng *rand.Rand, n, c, h, w, outC, kk, stride, pad int) (*Tensor, convSpec, []float32, []float32) {
+	x := New(n, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	spec := convSpec{inC: c, outC: outC, kk: kk, stride: stride, pad: pad}
+	wt := make([]float32, outC*c*kk*kk)
+	for i := range wt {
+		wt[i] = rng.Float32()*2 - 1
+	}
+	bias := make([]float32, outC)
+	for i := range bias {
+		bias[i] = rng.Float32()*2 - 1
+	}
+	return x, spec, wt, bias
+}
+
+// TestConvGemmMatchesDirect pins the core bit-exactness claim: the im2col +
+// blocked GEMM path produces exactly the float32 bits of the direct nested
+// loop across randomized geometry, including 1x1 kernels, stride > 1,
+// padding >= k/2, and spatial sizes smaller than the kernel.
+func TestConvGemmMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPool()
+	type shape struct{ n, c, h, w, outC, kk, stride, pad int }
+	cases := []shape{
+		{1, 3, 8, 8, 4, 3, 1, 1},
+		{2, 3, 160, 96, 10, 3, 2, 1}, // yolite B1 geometry
+		{1, 16, 40, 24, 24, 3, 2, 1}, // mid-backbone geometry
+		{1, 32, 5, 3, 21, 1, 1, 0},   // 1x1 head on the AGO grid
+		{1, 4, 2, 2, 3, 3, 1, 2},     // input smaller than kernel, heavy pad
+		{1, 2, 1, 1, 2, 3, 2, 1},     // degenerate 1x1 spatial
+		{3, 5, 9, 7, 6, 3, 3, 1},     // stride 3, odd sizes
+		{1, 1, 6, 6, 1, 5, 2, 2},     // big kernel, pad = k/2
+		{2, 8, 12, 12, 8, 1, 1, 0},   // 1x1 fast path with batch
+		{1, 6, 7, 11, 5, 3, 2, 0},    // no padding, non-square
+	}
+	for i := 0; i < 12; i++ { // and a dozen fully random geometries
+		kk := 1 + rng.Intn(3)*2 // 1, 3, 5
+		cases = append(cases, shape{
+			n: 1 + rng.Intn(3), c: 1 + rng.Intn(8),
+			h: 1 + rng.Intn(20), w: 1 + rng.Intn(20),
+			outC: 1 + rng.Intn(12), kk: kk,
+			stride: 1 + rng.Intn(3), pad: rng.Intn(kk/2 + 2),
+		})
+	}
+	for _, s := range cases {
+		if s.h+2*s.pad < s.kk || s.w+2*s.pad < s.kk {
+			s.pad = s.kk // keep the output non-empty
+		}
+		x, spec, wt, bias := randomConv(rng, s.n, s.c, s.h, s.w, s.outC, s.kk, s.stride, s.pad)
+		want := directConvRef(x, spec, wt, bias)
+		got := New(want.Shape...)
+		convGemmInto(x, got, spec, wt, bias, false, 0, p, nil)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %+v: element %d differs: gemm %v direct %v", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvGemmActEpilogue checks the fused leaky-ReLU epilogue equals
+// activation applied after the direct convolution.
+func TestConvGemmActEpilogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, spec, wt, bias := randomConv(rng, 2, 4, 10, 9, 6, 3, 2, 1)
+	want := directConvRef(x, spec, wt, bias)
+	const slope = 0.1
+	for i, v := range want.Data {
+		if v < 0 {
+			want.Data[i] = slope * v
+		}
+	}
+	got := New(want.Shape...)
+	convGemmInto(x, got, spec, wt, bias, true, slope, NewPool(), nil)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d differs with epilogue: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestIm2colPanelBlocks checks the block-wise unpack against a naive
+// whole-map gather for awkward block boundaries.
+func TestIm2colPanelBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	C, H, W, kk, stride, pad := 3, 7, 5, 3, 2, 1
+	OH := (H+2*pad-kk)/stride + 1
+	OW := (W+2*pad-kk)/stride + 1
+	cols := OH * OW
+	kdim := C * kk * kk
+	src := make([]float32, C*H*W)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	naive := make([]float32, kdim*cols)
+	for ic := 0; ic < C; ic++ {
+		for kh := 0; kh < kk; kh++ {
+			for kw := 0; kw < kk; kw++ {
+				r := (ic*kk+kh)*kk + kw
+				for j := 0; j < cols; j++ {
+					ih := (j/OW)*stride - pad + kh
+					iw := (j%OW)*stride - pad + kw
+					if ih >= 0 && ih < H && iw >= 0 && iw < W {
+						naive[r*cols+j] = src[(ic*H+ih)*W+iw]
+					}
+				}
+			}
+		}
+	}
+	for _, blk := range []int{1, 3, 4, OW, OW + 1, cols} {
+		for j0 := 0; j0 < cols; j0 += blk {
+			j1 := j0 + blk
+			if j1 > cols {
+				j1 = cols
+			}
+			nc := j1 - j0
+			dst := make([]float32, kdim*nc)
+			for i := range dst {
+				dst[i] = -99 // poison: every element must be written
+			}
+			im2colPanel(src, C, H, W, kk, stride, pad, OW, j0, j1, dst)
+			for r := 0; r < kdim; r++ {
+				for j := j0; j < j1; j++ {
+					if dst[r*nc+j-j0] != naive[r*cols+j] {
+						t.Fatalf("blk %d: panel[%d][%d] = %v, want %v", blk, r, j, dst[r*nc+j-j0], naive[r*cols+j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedConvBNActMatchesUnfused checks the folded one-pass block against
+// running conv, batch norm, and leaky-ReLU separately.
+func TestFusedConvBNActMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	conv := NewConv2D(rng, 5, 8, 3, 2, 1)
+	for i := range conv.W.Data {
+		conv.W.Data[i] = rng.Float32()*2 - 1
+	}
+	for i := range conv.B.Data {
+		conv.B.Data[i] = rng.Float32() - 0.5
+	}
+	bn := NewBatchNorm2D(8)
+	for oc := 0; oc < 8; oc++ {
+		bn.Gamma.Data[oc] = 0.5 + rng.Float32()
+		bn.Beta.Data[oc] = rng.Float32() - 0.5
+		bn.RunMean[oc] = rng.Float32() - 0.5
+		bn.RunVar[oc] = 0.1 + rng.Float32()
+	}
+	act := NewLeakyReLU()
+	x := New(2, 5, 12, 10)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	want := act.Forward(bn.Forward(conv.Forward(x, false), false), false)
+	fused := FuseConvBNAct(conv, bn, act)
+	p := NewPool()
+	got := fused.ForwardPooled(x, p)
+	for i := range want.Data {
+		d := got.Data[i] - want.Data[i]
+		if d < -1e-4 || d > 1e-4 {
+			t.Fatalf("element %d: fused %v unfused %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestFusedConvBNActCancel checks a closed done channel stops the fused
+// forward early without corrupting later runs.
+func TestFusedConvBNActCancel(t *testing.T) {
+	conv := NewConv2D(rand.New(rand.NewSource(1)), 3, 8, 3, 1, 1)
+	fused := FuseConvBNAct(conv, NewBatchNorm2D(8), NewLeakyReLU())
+	p := NewPool()
+	x := New(1, 3, 16, 16)
+	done := make(chan struct{})
+	close(done)
+	y := fused.ForwardCancel(x, p, done)
+	p.Put(y)
+	// A subsequent uncancelled run must still be complete and correct.
+	got := fused.ForwardCancel(x, p, nil)
+	want := fused.ForwardPooled(x, NewPool())
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-cancel forward differs at %d", i)
+		}
+	}
+}
+
+// TestConvGemmPooledAllocs pins the steady-state allocation count of the
+// GEMM convolution at zero: panels and outputs both recycle through the
+// pool. Serial path only — the parallel branch builds a closure by design.
+func TestConvGemmPooledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	rng := rand.New(rand.NewSource(5))
+	x, spec, wt, bias := randomConv(rng, 1, 8, 20, 20, 8, 3, 1, 1)
+	p := NewPool()
+	y := New(1, 8, 20, 20)
+	convGemmInto(x, y, spec, wt, bias, true, 0.1, p, nil) // warm the pool buckets
+	avg := testing.AllocsPerRun(20, func() {
+		convGemmInto(x, y, spec, wt, bias, true, 0.1, p, nil)
+	})
+	if avg != 0 {
+		t.Fatalf("pooled GEMM conv allocates %v per op, want 0", avg)
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	// B2-like layer: 16 -> 24 channels over an 40x24 grid.
+	x, spec, wt, bias := randomConv(rng, 1, 16, 40, 24, 24, 3, 2, 1)
+	p := NewPool()
+	OH := (x.Shape[2]+2*spec.pad-spec.kk)/spec.stride + 1
+	OW := (x.Shape[3]+2*spec.pad-spec.kk)/spec.stride + 1
+	y := New(1, spec.outC, OH, OW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		convGemmInto(x, y, spec, wt, bias, true, 0.1, p, nil)
+	}
+}
+
+func BenchmarkConvIm2col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	C, H, W, kk, stride, pad := 16, 40, 24, 3, 2, 1
+	OW := (W+2*pad-kk)/stride + 1
+	OH := (H+2*pad-kk)/stride + 1
+	cols := OH * OW
+	kdim := C * kk * kk
+	src := make([]float32, C*H*W)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	dst := make([]float32, kdim*cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im2colPanel(src, C, H, W, kk, stride, pad, OW, 0, cols, dst)
+	}
+}

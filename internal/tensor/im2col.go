@@ -1,0 +1,119 @@
+package tensor
+
+// im2col lowers convolution to matrix multiplication: the kernel window
+// under every output pixel is unpacked into one column of a dense panel, so
+// the convolution becomes weights [OutC x kdim] times panel [kdim x pixels]
+// (see gemm.go). The unpack is padding-aware — out-of-bounds taps are
+// written as explicit zeros, which keeps the GEMM inner loop free of the
+// per-element bounds branches that dominate the direct convolution loop.
+//
+// Panels are built per column block (a contiguous range of output pixels),
+// never for the whole feature map at once: the scratch stays small enough to
+// come from tensor.Pool size buckets and to remain cache-resident while the
+// GEMM sweeps it once per row tile.
+
+// colScalar is the element type an im2col panel can hold: float32 for the
+// float kernels, int8 for the quantised path (internal/quant), which shares
+// this unpack via Im2colPanelI8.
+type colScalar interface {
+	~float32 | ~int8
+}
+
+// im2colPanel fills dst (length kdim*(j1-j0), kdim = C*kk*kk) with the
+// im2col panel for output pixels [j0, j1) of a single batch item. src is
+// that item's input in CHW layout with spatial size HxW; output pixel
+// j = oh*OW + ow corresponds to the kernel window whose top-left input tap
+// is (oh*stride-pad, ow*stride-pad). Row r = (ic*kk+kh)*kk+kw of the panel
+// holds tap (ic, kh, kw) for every pixel in the block; taps outside the
+// input are zero. Every element of dst is written.
+func im2colPanel[T colScalar](src []T, C, H, W, kk, stride, pad, OW, j0, j1 int, dst []T) {
+	nc := j1 - j0
+	plane := H * W
+	row := 0
+	for ic := 0; ic < C; ic++ {
+		in := src[ic*plane : (ic+1)*plane]
+		for kh := 0; kh < kk; kh++ {
+			for kw := 0; kw < kk; kw++ {
+				im2colRow(in, H, W, stride, pad, OW, kh, kw, j0, j1, dst[row*nc:(row+1)*nc])
+				row++
+			}
+		}
+	}
+}
+
+// im2colRow writes one panel row: tap (kh, kw) of a single input channel for
+// output pixels [j0, j1). The block may start and end mid-row of the output
+// grid, so the walk is segmented by output row with the valid column range
+// copied (contiguously for stride 1) and the padding flanks zero-filled.
+func im2colRow[T colScalar](in []T, H, W, stride, pad, OW, kh, kw, j0, j1 int, out []T) {
+	pos := 0
+	oh := j0 / OW
+	ow0 := j0 % OW
+	for pos < len(out) {
+		owA := 0
+		if pos == 0 {
+			owA = ow0
+		}
+		owB := OW
+		if rem := len(out) - pos + owA; owB > rem {
+			owB = rem
+		}
+		seg := out[pos : pos+owB-owA]
+		ih := oh*stride - pad + kh
+		if ih < 0 || ih >= H {
+			for i := range seg {
+				seg[i] = 0
+			}
+		} else {
+			xrow := in[ih*W : (ih+1)*W]
+			// Valid output columns: 0 <= ow*stride-pad+kw < W.
+			lo := 0
+			if d := pad - kw; d > 0 {
+				lo = (d + stride - 1) / stride
+			}
+			hi := 0 // exclusive upper bound on valid ow
+			if top := W - 1 + pad - kw; top >= 0 {
+				hi = top/stride + 1
+				if hi > OW {
+					hi = OW
+				}
+			}
+			if lo < owA {
+				lo = owA
+			}
+			if hi > owB {
+				hi = owB
+			}
+			if hi < lo {
+				lo, hi = owA, owA // whole segment is padding
+			}
+			for ow := owA; ow < lo; ow++ {
+				seg[ow-owA] = 0
+			}
+			if hi <= lo {
+				// Empty valid range: everything was zero-filled above.
+			} else if stride == 1 {
+				base := lo - pad + kw
+				copy(seg[lo-owA:hi-owA], xrow[base:base+hi-lo])
+			} else {
+				iw := lo*stride - pad + kw
+				for ow := lo; ow < hi; ow++ {
+					seg[ow-owA] = xrow[iw]
+					iw += stride
+				}
+			}
+			for ow := hi; ow < owB; ow++ {
+				seg[ow-owA] = 0
+			}
+		}
+		pos += owB - owA
+		oh++
+	}
+}
+
+// Im2colPanelI8 is the int8 instantiation of the panel unpack, exported for
+// the quantised GEMM in internal/quant: the int8 pipeline lowers each layer
+// exactly like the float path, just over int8 activations.
+func Im2colPanelI8(src []int8, C, H, W, kk, stride, pad, OW, j0, j1 int, dst []int8) {
+	im2colPanel(src, C, H, W, kk, stride, pad, OW, j0, j1, dst)
+}

@@ -58,7 +58,7 @@ func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
 	if train {
 		c.lastIn = x
 	}
-	c.forwardInto(x, y, nil)
+	c.forwardInto(x, y, nil, nil)
 	return y
 }
 
@@ -81,64 +81,84 @@ func (c *Conv2D) ForwardCancel(x *Tensor, p *Pool, done <-chan struct{}) *Tensor
 	}
 	OH, OW := c.OutSize(H, W)
 	y := p.Get(N, c.OutC, OH, OW)
-	c.forwardInto(x, y, done)
+	c.forwardInto(x, y, p, done)
 	return y
 }
 
 // forwardInto computes the convolution into the preallocated output y,
-// writing every element. Output planes are independent, so they run on the
-// shared worker pool when the flop count justifies it. A non-nil done is
-// polled between planes — the convolution is the hot loop every cancellation
-// deadline ultimately bounds, and one plane is the checkpoint granularity.
-func (c *Conv2D) forwardInto(x, y *Tensor, done <-chan struct{}) {
+// writing every element. Large shapes are lowered to im2col + blocked GEMM
+// (see gemm.go) with scratch panels drawn from p; small shapes stay on the
+// direct nested loop, which doubles as the bit-exactness reference — both
+// paths accumulate each output element in identical order, so their results
+// are bit-identical (pinned by TestConvGemmMatchesDirect). Work runs on the
+// shared worker pool when the flop count justifies it, and a non-nil done is
+// polled between column blocks (GEMM) or output planes (direct) — the
+// convolution is the hot loop every cancellation deadline ultimately bounds.
+func (c *Conv2D) forwardInto(x, y *Tensor, p *Pool, done <-chan struct{}) {
 	N := x.Shape[0]
 	OH, OW := y.Shape[2], y.Shape[3]
+	kdim := c.InC * c.K * c.K
+	spec := convSpec{inC: c.InC, outC: c.OutC, kk: c.K, stride: c.Stride, pad: c.Pad}
+	if c.OutC*OH*OW*kdim >= gemmMinWork {
+		convGemmInto(x, y, spec, c.W.Data, c.B.Data, false, 0, p, done)
+		return
+	}
 	tasks := N * c.OutC
-	if ParallelWorthwhile(tasks * OH * OW * c.InC * c.K * c.K) {
-		ParallelForCancel(done, tasks, func(t int) { c.forwardPlane(x, y, t/c.OutC, t%c.OutC) })
+	if ParallelWorthwhile(tasks * OH * OW * kdim) {
+		ParallelForCancel(done, tasks, func(t int) {
+			directConvPlane(x, y, spec, c.W.Data, c.B.Data[t%c.OutC], t/c.OutC, t%c.OutC)
+		})
 		return
 	}
 	for t := 0; t < tasks; t++ {
 		if Aborted(done) {
 			return
 		}
-		c.forwardPlane(x, y, t/c.OutC, t%c.OutC)
+		directConvPlane(x, y, spec, c.W.Data, c.B.Data[t%c.OutC], t/c.OutC, t%c.OutC)
 	}
 }
 
-// forwardPlane fills output plane (n, oc). Each plane touches a disjoint
-// slice of y, so planes are safe to compute concurrently; the arithmetic
-// order within a plane is fixed, keeping results bit-identical to the serial
-// loop.
-func (c *Conv2D) forwardPlane(x, y *Tensor, n, oc int) {
+// directConvPlane fills output plane (n, oc) with the direct nested loop —
+// the small-shape fallback and the reference the GEMM path is pinned
+// against. Each plane touches a disjoint slice of y, so planes are safe to
+// compute concurrently; the arithmetic order within a plane is fixed,
+// keeping results bit-identical to the serial loop. The weight and input
+// plane bases advance incrementally with ic instead of being recomputed in
+// the innermost loops.
+func directConvPlane(x, y *Tensor, spec convSpec, w []float32, bias float32, n, oc int) {
 	C, H, W := x.Shape[1], x.Shape[2], x.Shape[3]
 	OH, OW := y.Shape[2], y.Shape[3]
-	bias := c.B.Data[oc]
-	outBase := ((n*c.OutC + oc) * OH) * OW
+	kk := spec.kk
+	plane := H * W
+	wPer := kk * kk
+	wPlane0 := oc * spec.inC * wPer
+	inPlane0 := n * C * plane
+	outBase := ((n*spec.outC + oc) * OH) * OW
 	for oh := 0; oh < OH; oh++ {
-		ihBase := oh*c.Stride - c.Pad
+		ihBase := oh*spec.stride - spec.pad
 		outRow := outBase + oh*OW
 		for ow := 0; ow < OW; ow++ {
-			iwBase := ow*c.Stride - c.Pad
+			iwBase := ow*spec.stride - spec.pad
 			sum := bias
-			for ic := 0; ic < c.InC; ic++ {
-				wBase := ((oc*c.InC + ic) * c.K) * c.K
-				inBase := ((n*C + ic) * H) * W
-				for kh := 0; kh < c.K; kh++ {
+			wBase, inBase := wPlane0, inPlane0
+			for ic := 0; ic < spec.inC; ic++ {
+				for kh := 0; kh < kk; kh++ {
 					ih := ihBase + kh
 					if ih < 0 || ih >= H {
 						continue
 					}
 					inRow := inBase + ih*W
-					wRow := wBase + kh*c.K
-					for kw := 0; kw < c.K; kw++ {
+					wRow := wBase + kh*kk
+					for kw := 0; kw < kk; kw++ {
 						iw := iwBase + kw
 						if iw < 0 || iw >= W {
 							continue
 						}
-						sum += c.W.Data[wRow+kw] * x.Data[inRow+iw]
+						sum += w[wRow+kw] * x.Data[inRow+iw]
 					}
 				}
+				wBase += wPer
+				inBase += plane
 			}
 			y.Data[outRow+ow] = sum
 		}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -69,6 +70,14 @@ type Model struct {
 
 	// cached stride-8 activation for the backward pass
 	lastF8 *tensor.Tensor
+
+	// fused holds the folded one-pass inference form of each backbone block
+	// (conv, batch norm, and activation collapsed — see tensor.FuseConvBNAct),
+	// built lazily on first inference and dropped whenever the underlying
+	// weights can change (Load, any training forward). Guarded by fusedMu so
+	// concurrent Predict* calls race neither the build nor the invalidation.
+	fusedMu sync.Mutex
+	fused   []*tensor.FusedConvBNAct
 }
 
 // NewModel builds a randomly initialised detector.
@@ -118,41 +127,77 @@ func (m *Model) asSequential() *nn.Sequential {
 func (m *Model) Save(path string) error { return nn.SaveWeightsFile(path, m.asSequential()) }
 
 // Load reads weights produced by Save.
-func (m *Model) Load(path string) error { return nn.LoadWeightsFile(path, m.asSequential()) }
+func (m *Model) Load(path string) error {
+	m.invalidateFused()
+	return nn.LoadWeightsFile(path, m.asSequential())
+}
+
+// Fuse builds the folded inference blocks eagerly, so the first request a
+// freshly built replica serves does not pay the fold. Optional — inference
+// fuses lazily on demand — and exposed through the detect build path via the
+// anonymous interface{ Fuse() }.
+func (m *Model) Fuse() { m.fusedBlocks() }
+
+// invalidateFused drops the folded blocks; the next inference refolds from
+// the current weights. Called whenever the float weights may change.
+func (m *Model) invalidateFused() {
+	m.fusedMu.Lock()
+	m.fused = nil
+	m.fusedMu.Unlock()
+}
+
+// fusedBlocks returns the folded backbone, building it on first use.
+func (m *Model) fusedBlocks() []*tensor.FusedConvBNAct {
+	m.fusedMu.Lock()
+	defer m.fusedMu.Unlock()
+	if m.fused == nil {
+		seqs := [...]*nn.Sequential{m.B1, m.B2, m.B3, m.B3b, m.B4, m.B5}
+		m.fused = make([]*tensor.FusedConvBNAct, len(seqs))
+		for i, s := range seqs {
+			m.fused[i] = tensor.FuseConvBNAct(nn.ConvBNActParts(s))
+		}
+	}
+	return m.fused
+}
 
 // Forward runs the backbone and both heads. x is [N, 3, InputH, InputW];
-// the returned maps are [N, 5, GH, GW] for each head.
+// the returned maps are [N, 5, GH, GW] for each head. Inference always takes
+// the fused one-pass-per-block path (pooled when a Pool is installed, fresh
+// buffers otherwise — identical arithmetic either way); training keeps the
+// layer-by-layer form the backward pass needs, and drops any stale fused
+// snapshot since the step about to happen will change the weights.
 func (m *Model) Forward(x *tensor.Tensor, train bool) (upo, ago *tensor.Tensor) {
-	if !train && m.Pool != nil {
+	if !train {
 		return m.forwardPooled(x)
 	}
+	m.invalidateFused()
 	f8 := m.B3b.Forward(m.B3.Forward(m.B2.Forward(m.B1.Forward(x, train), train), train), train)
-	if train {
-		m.lastF8 = f8
-	}
+	m.lastF8 = f8
 	upo = m.UPOHead.Forward(f8, train)
 	f32 := m.B5.Forward(m.B4.Forward(f8, train), train)
 	ago = m.AGOHead.Forward(f32, train)
 	return upo, ago
 }
 
-// forwardPooled is the inference forward with recycled activations: each
-// intermediate returns to the pool the moment its consumers are done. The
-// returned head maps are pooled buffers owned by the caller; Predict*
-// release them after decoding.
+// forwardPooled is the inference forward: each backbone block is one fused
+// conv+BN+activation pass, and every intermediate returns to the pool the
+// moment its consumers are done (with a nil pool the Get/Put calls degrade
+// to plain allocation). The returned head maps are pooled buffers owned by
+// the caller; Predict* release them after decoding.
 func (m *Model) forwardPooled(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 	p := m.Pool
-	h1 := m.B1.ForwardPooled(x, p)
-	h2 := m.B2.ForwardPooled(h1, p)
+	fb := m.fusedBlocks()
+	h1 := fb[0].ForwardPooled(x, p)
+	h2 := fb[1].ForwardPooled(h1, p)
 	p.Put(h1)
-	h3 := m.B3.ForwardPooled(h2, p)
+	h3 := fb[2].ForwardPooled(h2, p)
 	p.Put(h2)
-	f8 := m.B3b.ForwardPooled(h3, p)
+	f8 := fb[3].ForwardPooled(h3, p)
 	p.Put(h3)
 	upo = m.UPOHead.ForwardPooled(f8, p)
-	h4 := m.B4.ForwardPooled(f8, p)
+	h4 := fb[4].ForwardPooled(f8, p)
 	p.Put(f8) // both consumers (UPO head, B4) are done
-	h5 := m.B5.ForwardPooled(h4, p)
+	h5 := fb[5].ForwardPooled(h4, p)
 	p.Put(h4)
 	ago = m.AGOHead.ForwardPooled(h5, p)
 	p.Put(h5)
@@ -171,7 +216,8 @@ func (m *Model) forwardPooled(x *tensor.Tensor) (upo, ago *tensor.Tensor) {
 func (m *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *tensor.Tensor, err error) {
 	p := m.Pool
 	done := ctx.Done()
-	step := func(b *nn.Sequential, in *tensor.Tensor) (*tensor.Tensor, bool) {
+	fb := m.fusedBlocks()
+	step := func(b *tensor.FusedConvBNAct, in *tensor.Tensor) (*tensor.Tensor, bool) {
 		h := b.ForwardCancel(in, p, done)
 		if in != x {
 			p.Put(in)
@@ -184,17 +230,17 @@ func (m *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *
 		}
 		return h, true
 	}
-	h, ok := step(m.B1, x)
+	h, ok := step(fb[0], x)
 	if !ok {
 		return nil, nil, ctx.Err()
 	}
-	if h, ok = step(m.B2, h); !ok {
+	if h, ok = step(fb[1], h); !ok {
 		return nil, nil, ctx.Err()
 	}
-	if h, ok = step(m.B3, h); !ok {
+	if h, ok = step(fb[2], h); !ok {
 		return nil, nil, ctx.Err()
 	}
-	f8, ok := step(m.B3b, h)
+	f8, ok := step(fb[3], h)
 	if !ok {
 		return nil, nil, ctx.Err()
 	}
@@ -204,14 +250,14 @@ func (m *Model) forwardCancel(ctx context.Context, x *tensor.Tensor) (upo, ago *
 		p.Put(upo)
 		return nil, nil, ctx.Err()
 	}
-	h4 := m.B4.ForwardCancel(f8, p, done)
+	h4 := fb[4].ForwardCancel(f8, p, done)
 	p.Put(f8) // both consumers (UPO head, B4) are done
 	if ctx.Err() != nil {
 		p.Put(h4)
 		p.Put(upo)
 		return nil, nil, ctx.Err()
 	}
-	h5 := m.B5.ForwardCancel(h4, p, done)
+	h5 := fb[5].ForwardCancel(h4, p, done)
 	p.Put(h4)
 	if ctx.Err() != nil {
 		p.Put(h5)
