@@ -6,41 +6,42 @@
 //
 // Usage:
 //
-//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite] [-fleet N] [-deadline 0]
+//	darpa-sim [-minutes 2] [-weights weights] [-bypass] [-obfuscate] [-shots dir] [-detector yolite] [-fleet N]
 //
-// With -fleet N > 1 the single-handset timeline is replaced by N simulated
-// devices running concurrently, all funnelling their inference through one
-// shared serving stack (micro-batching scheduler over a sharded result cache
-// over a pooled backend) — the paper's one-model-per-device deployment
-// scaled to a fleet the way an audit farm or device lab would run it.
+// With -fleet N > 1 the single-handset timeline is replaced by the
+// event-driven fleet simulator (internal/fleet): N devices' event arrivals,
+// debounce timers and popup dwells are heap events on one virtual clock, and
+// only real inference rides goroutines — through one shared serving stack
+// (admission → scheduler → replica pool over per-replica result caches) — so
+// one machine simulates 100k+ devices. Traffic can be shaped (-shape
+// steady|diurnal|spike), replayed exactly (-fleet-seed), exported as
+// Prometheus text + JSON (-metrics-out), and swept across fleet sizes
+// (-fleet-sweep, -bench-out).
 package main
 
 import (
-	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"image/png"
 	"log"
 	"os"
 	"path/filepath"
-	"sync"
+	"strconv"
+	"strings"
 	"time"
 
-	"repro/internal/a11y"
 	"repro/internal/app"
 	"repro/internal/auigen"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/frauddroid"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
-	"repro/internal/quant"
-	"repro/internal/serve"
-	"repro/internal/sim"
-	"repro/internal/tensor"
 	"repro/internal/uikit"
-	"repro/internal/yolite"
 )
 
 func main() {
@@ -51,12 +52,18 @@ func main() {
 	obfuscate := flag.Bool("obfuscate", false, "app obfuscates its resource ids")
 	shots := flag.String("shots", "", "directory to dump annotated screenshots to")
 	detector := flag.String("detector", "yolite", "registry backend to run the service with")
-	fleet := flag.Int("fleet", 1, "simulated devices sharing one batched detector (1 = classic single-handset run)")
+	fleetN := flag.Int("fleet", 1, "simulated devices on one event-driven clock (1 = classic single-handset run)")
 	replicas := flag.Int("replicas", 1, "independent model replicas behind the fleet's shared scheduler")
 	tenants := flag.Int("tenants", 1, "tenant identities the fleet's devices are spread across (tenant0 is live-priority, the rest batch-priority)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate limit in requests/sec (0 = unlimited)")
 	shedDepth := flag.Int("shed-depth", 0, "shed requests once the scheduler queues hold this many (0 = never shed)")
-	deadline := flag.Duration("deadline", 0, "per-analysis wall-clock deadline (0 = none); expired cycles abort mid-forward and skip decoration")
+	deadline := flag.Duration("deadline", 0, "single-handset: per-analysis wall-clock deadline (0 = none); expired cycles abort mid-forward and skip decoration")
+	fleetSeed := flag.Int64("fleet-seed", 42, "fleet: run seed; equal seeds replay identically")
+	eventsPerMin := flag.Float64("events-per-min", fleet.DefaultEventsPerMinute, "fleet: per-device accessibility events per minute before shaping")
+	shape := flag.String("shape", fleet.ShapeSteady, "fleet: traffic shape (steady|diurnal|spike)")
+	metricsOut := flag.String("metrics-out", "", "fleet: write the run's metric families to <path>.prom and <path>.json")
+	fleetSweep := flag.String("fleet-sweep", "", "fleet: comma-separated device counts to sweep (e.g. 1000,10000,100000)")
+	benchOut := flag.String("bench-out", "", "fleet sweep: write the devices-vs-throughput table to this JSON file")
 	chaos := flag.Float64("chaos", 0, "inject detector errors at this rate (0-1); enables the resilient path (retry + frauddroid fallback)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "inject latency spikes of this size on ~10% of detector calls")
 	chaosPanic := flag.Int("chaos-panic", 0, "panic inside the detector on every Nth call (0 = never)")
@@ -66,10 +73,10 @@ func main() {
 
 	plan := chaosPlan(*chaos, *chaosLatency, *chaosPanic, *chaosCorrupt, *chaosSeed)
 
-	clock := sim.NewClock(42)
-	screen := uikit.NewScreen(384, 640)
-	mgr := a11y.NewManager(clock, screen)
-
+	// The single handset is assembled first in both modes: its screen anchors
+	// the detector build context (train-if-cold renders against it), and in
+	// fleet mode only the build context's closure is unused.
+	var h *fleet.Handset
 	bctx := detect.BuildContext{
 		WeightsDir: *weights,
 		Samples: func() []*dataset.Sample {
@@ -77,53 +84,77 @@ func main() {
 			return auigen.BuildAUISamples(1, 96, auigen.DatasetConfig{})
 		},
 		Epochs: 10,
-		Screen: func() *uikit.Screen { return screen },
+		Screen: func() *uikit.Screen { return h.Screen },
 		Logf:   log.Printf,
 	}
-	if *fleet > 1 {
+
+	if *fleetSweep != "" || *fleetN > 1 {
 		// Train-if-cold happens once; replica builds after the first are
 		// warm weight loads producing independent model instances.
 		bctx.SaveWeights = true
+		bctx.Screen = nil
 		reps, err := detect.BuildReplicas(*detector, bctx, *replicas)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runFleet(reps, plan, fleetConfig{
-			devices:    *fleet,
-			minutes:    *minutes,
-			tenants:    *tenants,
-			tenantRate: *tenantRate,
-			shedDepth:  *shedDepth,
-			bypass:     *bypass,
-			obfuscate:  *obfuscate,
-			deadline:   *deadline,
-		})
+		cfg := fleet.Config{
+			Devices:         *fleetN,
+			Duration:        time.Duration(*minutes) * time.Minute,
+			Seed:            *fleetSeed,
+			EventsPerMinute: *eventsPerMin,
+			Shape:           *shape,
+			Bypass:          *bypass,
+			Tenants:         *tenants,
+			TenantRate:      *tenantRate,
+			ShedDepth:       *shedDepth,
+			Plan:            plan,
+			Logf:            log.Printf,
+		}
+		if *fleetSweep != "" {
+			runFleetSweep(reps, cfg, *fleetSweep, *benchOut)
+			return
+		}
+		res, err := fleet.Run(cfg, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printFleet(res, plan)
+		if *metricsOut != "" {
+			if err := dumpMetrics(*metricsOut, res.Families()); err != nil {
+				log.Fatal(err)
+			}
+		}
 		return
 	}
+
+	svcCfg := core.Config{AutoBypass: *bypass, Deadline: *deadline}
+	if plan != nil {
+		// Chaos mode: faults hit the primary backend; the service retries it,
+		// then falls back to the metadata heuristic reading the same screen.
+		svcCfg.RetryAttempts = 3
+		svcCfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
+			Screen: func() *uikit.Screen { return h.Screen },
+		}}
+	}
+	h = fleet.NewHandset(fleet.HandsetConfig{
+		Seed: 42,
+		App: app.Config{
+			Package:         "com.example.shop",
+			MeanAUIInterval: 10 * time.Second,
+			Obfuscate:       *obfuscate,
+		},
+		Service: svcCfg,
+	})
 	model, err := detect.Build(*detector, bctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := app.Launch(clock, mgr, app.Config{
-		Package:         "com.example.shop",
-		MeanAUIInterval: 10 * time.Second,
-		Obfuscate:       *obfuscate,
-	})
-	monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
-
-	cfg := core.Config{AutoBypass: *bypass, Deadline: *deadline}
 	svcModel := model
 	if plan != nil {
-		// Chaos mode: faults hit the primary backend; the service retries it,
-		// then falls back to the metadata heuristic reading the same screen.
 		svcModel = faults.WrapStage(model, plan, "backend")
-		cfg.RetryAttempts = 3
-		cfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
-			Screen: func() *uikit.Screen { return screen },
-		}}
 	}
 	shotIdx := 0
-	svc := core.Start(clock, mgr, svcModel, cfg)
+	svc := h.Start(svcModel)
 	svc.OnAnalysis = func(an core.Analysis) {
 		if len(an.Detections) == 0 {
 			return
@@ -138,7 +169,7 @@ func main() {
 		}
 		if *shots != "" {
 			// Render the decorated screen (decorations are already up).
-			c := screen.Render()
+			c := h.Screen.Render()
 			name := filepath.Join(*shots, fmt.Sprintf("detect_%02d.png", shotIdx))
 			shotIdx++
 			f, err := os.Create(name)
@@ -155,10 +186,8 @@ func main() {
 			log.Fatalf("creating %s: %v", *shots, err)
 		}
 	}
-	clock.RunUntil(time.Duration(*minutes) * time.Minute)
-	monkey.Stop()
-	svc.Stop()
-	a.Stop()
+	h.Run(time.Duration(*minutes) * time.Minute)
+	h.Stop()
 
 	st := svc.Stats()
 	fmt.Printf("\n--- %d simulated minute(s) ---\n", *minutes)
@@ -179,172 +208,26 @@ func main() {
 		printServedRate(st)
 	}
 	fmt.Printf("pipeline stage times:        %s\n", svc.Timings())
-	shown := a.History()
+	shown := h.App.History()
 	byClick := 0
-	for _, h := range shown {
-		if h.DismissedByClick {
+	for _, hist := range shown {
+		if hist.DismissedByClick {
 			byClick++
 		}
 	}
 	fmt.Printf("AUI popups shown by the app: %d (%d dismissed by click)\n", len(shown), byClick)
 }
 
-// fleetConfig bundles the fleet-mode knobs.
-type fleetConfig struct {
-	devices    int
-	minutes    int
-	tenants    int
-	tenantRate float64
-	shedDepth  int
-	bypass     bool
-	obfuscate  bool
-	deadline   time.Duration
-}
-
-// runFleet drives N devices concurrently through one shared serving stack:
-// per-tenant admission in front of a priority scheduler feeding the replica
-// pool. Each device owns its clock, screen, app, monkey and DARPA service —
-// only the serving stack is shared, which is safe because inference is
-// read-only and the admission, batching, caching and pooling layers are all
-// concurrency-safe. Devices are spread round-robin across tenant identities;
-// tenant0 is the live-decoration tier, the rest are batch-audit tier.
-func runFleet(models []detect.Detector, plan *faults.Plan, fc fleetConfig) {
-	devices, minutes := fc.devices, fc.minutes
-	if fc.tenants <= 0 {
-		fc.tenants = 1
-	}
-	rec := &perfmodel.Timings{}
-	// Each replica's tensor backend gets its own activation pool — with many
-	// devices in flight the steady-state forward otherwise allocates every
-	// intermediate fresh, and pools must never be shared across replicas.
-	// The pool is installed on the raw model here because the fault and
-	// cache wrappers below hide the SetPool seam from the replica layer.
-	var caches []*detect.Cache
-	backends := make([]detect.Predictor, 0, len(models))
-	for _, model := range models {
-		switch m := model.(type) {
-		case *yolite.Model:
-			m.SetPool(tensor.NewPool())
-		case *quant.Model:
-			m.SetPool(tensor.NewPool())
-		}
-		inner := detect.Predictor(model)
-		if plan != nil {
-			// The result cache sits outside the fault injector, so in chaos
-			// mode it is dropped: a corrupted result memoised as a legitimate
-			// hit would turn one injected fault into a permanent wrong answer.
-			inner = faults.WrapStage(model, plan, "backend")
-		} else {
-			c := detect.WithResultCache(model, 64*devices/len(models))
-			caches = append(caches, c)
-			inner = c
-		}
-		backends = append(backends, inner)
-	}
-	// Tenant table: tenant0 serves the interactive tier, every other tenant
-	// the audit tier; one rate knob covers them all (0 = unlimited).
-	tenantTable := make(map[serve.TenantID]serve.TenantConfig, fc.tenants)
-	for t := 0; t < fc.tenants; t++ {
-		prio := serve.PriorityLive
-		if t > 0 {
-			prio = serve.PriorityBatch
-		}
-		tenantTable[serve.TenantID(fmt.Sprintf("tenant%d", t))] = serve.TenantConfig{
-			Rate:     fc.tenantRate,
-			Priority: prio,
-		}
-	}
-	shared := serve.NewReplicated(serve.Options{
-		MaxBatch:      devices,
-		Timings:       rec,
-		Tenants:       tenantTable,
-		MaxQueueDepth: fc.shedDepth,
-	}, backends...)
-
-	type deviceResult struct {
-		stats  core.Stats
-		popups int
-	}
-	results := make([]deviceResult, devices)
-	var wg sync.WaitGroup
-	for d := 0; d < devices; d++ {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			// Per-device context: cancelling it abandons every analysis the
-			// device still has in flight, the way pulling one handset out of
-			// a device lab should not disturb the shared serving stack.
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			clock := sim.NewClock(int64(42 + d))
-			screen := uikit.NewScreen(384, 640)
-			mgr := a11y.NewManager(clock, screen)
-			a := app.Launch(clock, mgr, app.Config{
-				Package:         fmt.Sprintf("com.fleet.app%02d", d),
-				MeanAUIInterval: 10 * time.Second,
-				Obfuscate:       fc.obfuscate,
-				GenSeed:         int64(100 + d),
-			})
-			monkey := app.StartMonkey(clock, mgr, "monkey", 2*time.Second)
-			tenant := d % fc.tenants
-			cfg := core.Config{
-				AutoBypass:  fc.bypass,
-				Deadline:    fc.deadline,
-				BaseContext: ctx,
-				Tenant:      fmt.Sprintf("tenant%d", tenant),
-			}
-			if tenant > 0 {
-				cfg.TenantPriority = serve.PriorityBatch
-			}
-			if plan != nil {
-				// Each device retries the shared stack before degrading.
-				cfg.RetryAttempts = 3
-			}
-			if plan != nil || fc.shedDepth > 0 || fc.tenantRate > 0 {
-				// Chaos faults, shed requests (serve.ErrOverloaded) and rate
-				// rejections (serve.ErrRateLimited) all degrade the same way:
-				// the device falls back to its own metadata heuristic reading
-				// its own screen instead of failing the cycle.
-				cfg.Fallbacks = []detect.Detector{&frauddroid.ViewAdapter{
-					Screen: func() *uikit.Screen { return screen },
-				}}
-			}
-			svc := core.Start(clock, mgr, shared, cfg)
-			clock.RunUntil(time.Duration(fc.minutes) * time.Minute)
-			monkey.Stop()
-			svc.Stop()
-			a.Stop()
-			results[d] = deviceResult{stats: svc.Stats(), popups: len(a.History())}
-		}(d)
-	}
-	wg.Wait()
-	shared.Close()
-	for _, c := range caches {
-		c.PublishStats(rec)
-	}
-
-	fmt.Printf("\n--- fleet: %d devices x %d simulated minute(s) ---\n", devices, minutes)
-	fmt.Printf("%-8s %8s %10s %8s %8s\n", "device", "events", "analyses", "AUIs", "popups")
-	var agg core.Stats
-	for d, r := range results {
-		fmt.Printf("%-8d %8d %10d %8d %8d\n", d, r.stats.EventsSeen, r.stats.Analyses, r.stats.AUIFlagged, r.popups)
-		agg.EventsSeen += r.stats.EventsSeen
-		agg.Debounced += r.stats.Debounced
-		agg.Analyses += r.stats.Analyses
-		agg.AUIFlagged += r.stats.AUIFlagged
-		agg.DecorationsDrawn += r.stats.DecorationsDrawn
-		agg.Superseded += r.stats.Superseded
-		agg.TimedOut += r.stats.TimedOut
-		agg.Degraded += r.stats.Degraded
-		agg.Retried += r.stats.Retried
-		agg.FellBack += r.stats.FellBack
-		for i := range agg.Stages {
-			agg.Stages[i].Runs += r.stats.Stages[i].Runs
-		}
-	}
-	st := shared.Stats()
-	fmt.Printf("\nfleet totals: %d events, %d debounced, %d analyses (%d superseded, %d timed out), %d AUIs flagged, %d decorations\n",
-		agg.EventsSeen, agg.Debounced, agg.Analyses, agg.Superseded, agg.TimedOut, agg.AUIFlagged, agg.DecorationsDrawn)
+// printFleet renders one fleet run's ledger.
+func printFleet(res *fleet.Result, plan *faults.Plan) {
+	fmt.Printf("\n--- fleet: %d devices x %v simulated (%s traffic, seed %d) ---\n",
+		res.Devices, res.Duration, shapeOrSteady(res.Shape), res.Seed)
+	fmt.Printf("events:       %d seen, %d debounced (work avoided)\n", res.Events, res.Debounced)
+	fmt.Printf("analyses:     %d completed, %d superseded, %d rate-limited, %d shed, %d degraded\n",
+		res.Analyses, res.Superseded, res.RateLimited, res.Shed, res.Degraded)
+	fmt.Printf("AUIs:         %d popups shown, %d flagged analyses, %d auto-bypassed\n",
+		res.Popups, res.Flagged, res.Bypassed)
+	st := res.Serve
 	fmt.Printf("admission:    %d offered = %d admitted + %d shed + %d rejected (%d tenants)\n",
 		st.Offered, st.Admitted, st.Shed, st.Rejected, len(st.Tenants))
 	fmt.Printf("scheduler:    %d forwards for %d screens (max batch %d, max queue %d, %d cancelled in queue)\n",
@@ -353,26 +236,127 @@ func runFleet(models []detect.Detector, plan *faults.Plan, fc fleetConfig) {
 		fmt.Printf("replica %-2d    %d screens in %d forwards, %v busy, %d failed, %d bench trips\n",
 			r.ID, r.Items, r.Batches, r.Busy.Round(time.Millisecond), r.Failed, r.BenchTrips)
 	}
-	if len(caches) > 0 {
-		var hits, misses int
-		for _, c := range caches {
-			hits += c.Hits()
-			misses += c.Misses()
-		}
-		rate := 0.0
-		if hits+misses > 0 {
-			rate = float64(hits) / float64(hits+misses)
-		}
-		fmt.Printf("result cache: %.0f%% hit rate (%d hits / %d misses, %d per-replica caches)\n",
-			100*rate, hits, misses, len(caches))
+	if res.CacheHits+res.CacheMisses > 0 {
+		rate := float64(res.CacheHits) / float64(res.CacheHits+res.CacheMisses)
+		fmt.Printf("result cache: %.0f%% hit rate (%d hits / %d misses)\n", 100*rate, res.CacheHits, res.CacheMisses)
 	}
 	if plan != nil {
-		fmt.Printf("chaos:        %s\n", plan)
-		fmt.Printf("resilience:   %d retries, %d fallback-served, %d degraded; scheduler isolated %d poison batches, %d failed requests\n",
-			agg.Retried, agg.FellBack, agg.Degraded, st.Poisoned, st.Failed)
-		printServedRate(agg)
+		fmt.Printf("chaos:        %s (%d poison batches, %d failed requests isolated)\n", plan, st.Poisoned, st.Failed)
 	}
-	fmt.Printf("serving:      %s\n", rec.String())
+	rps := 0.0
+	if res.Wall > 0 {
+		rps = float64(res.Analyses) / res.Wall.Seconds()
+	}
+	fmt.Printf("throughput:   %.0f analyses/s over %v wall (%0.fx real time)\n",
+		rps, res.Wall.Round(time.Millisecond), res.Duration.Seconds()/res.Wall.Seconds())
+	if res.Timings != nil {
+		fmt.Printf("serving:      %s\n", res.Timings.String())
+	}
+}
+
+func shapeOrSteady(s string) string {
+	if s == "" {
+		return fleet.ShapeSteady
+	}
+	return s
+}
+
+// benchPoint is one sweep entry in the -bench-out JSON.
+type benchPoint struct {
+	Devices       int     `json:"devices"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Events        int     `json:"events"`
+	Analyses      int     `json:"analyses"`
+	Superseded    int     `json:"superseded"`
+	Popups        int     `json:"popups"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Speedup       float64 `json:"sim_over_wall"`
+}
+
+// runFleetSweep runs the fleet at each requested size (reusing the built
+// replicas) and writes the devices-vs-throughput table.
+func runFleetSweep(reps []detect.Detector, cfg fleet.Config, sweep, benchOut string) {
+	var points []benchPoint
+	for _, field := range strings.Split(sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -fleet-sweep entry %q", field)
+		}
+		c := cfg
+		c.Devices = n
+		c.Timings = &perfmodel.Timings{} // fresh recorder per point
+		res, err := fleet.Run(c, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printFleet(res, cfg.Plan)
+		p := benchPoint{
+			Devices:     res.Devices,
+			SimSeconds:  res.Duration.Seconds(),
+			WallSeconds: res.Wall.Seconds(),
+			Events:      res.Events,
+			Analyses:    res.Analyses,
+			Superseded:  res.Superseded,
+			Popups:      res.Popups,
+		}
+		if res.Wall > 0 {
+			p.ThroughputRPS = float64(res.Analyses) / res.Wall.Seconds()
+			p.Speedup = res.Duration.Seconds() / res.Wall.Seconds()
+		}
+		if res.CacheHits+res.CacheMisses > 0 {
+			p.CacheHitRate = float64(res.CacheHits) / float64(res.CacheHits+res.CacheMisses)
+		}
+		points = append(points, p)
+	}
+	if benchOut == "" {
+		return
+	}
+	doc := struct {
+		Bench  string       `json:"bench"`
+		Shape  string       `json:"shape"`
+		Seed   int64        `json:"seed"`
+		Points []benchPoint `json:"points"`
+	}{Bench: "fleet", Shape: shapeOrSteady(cfg.Shape), Seed: cfg.Seed, Points: points}
+	f, err := os.Create(benchOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fleet sweep written to %s (%d points)", benchOut, len(points))
+}
+
+// dumpMetrics writes the families as Prometheus text (<path>.prom) and JSON
+// (<path>.json).
+func dumpMetrics(path string, fams []metrics.Family) error {
+	prom, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteText(prom, fams); err != nil {
+		prom.Close()
+		return err
+	}
+	if err := prom.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(path + ".json")
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteJSON(jf, fams); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 // printServedRate reports what fraction of the screens that reached the

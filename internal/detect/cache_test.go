@@ -255,6 +255,21 @@ func TestCacheKeyThresholdSensitivity(t *testing.T) {
 	}
 }
 
+// BenchmarkCacheKey prices the content hash on a full-size screen — the
+// per-lookup floor every cache hit pays. The chunked-write rewrite exists
+// because this number, times a million fleet analyses a minute, was the
+// fleet simulator's bottleneck.
+func BenchmarkCacheKey(b *testing.B) {
+	x := screen(7)
+	b.SetBytes(int64(4 * len(x.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cacheKey(x, 0, 0.45); !ok {
+			b.Fatal("cacheKey rejected a well-formed screen")
+		}
+	}
+}
+
 func BenchmarkShardedCacheParallelHits(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {

@@ -4,16 +4,14 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/a11y"
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/fleet"
 	"repro/internal/frauddroid"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
-	"repro/internal/sim"
-	"repro/internal/uikit"
 )
 
 // Device-level experiment parameters.
@@ -64,36 +62,38 @@ type runResult struct {
 // scoring both DARPA and the FraudDroid-like baseline on every analysed
 // screen.
 func (e *Env) runApp(idx int, ct time.Duration, mode core.Mode, withFD bool) runResult {
-	clock := sim.NewClock(int64(DeviceSeed + idx))
-	screen := uikit.NewScreen(deviceW, deviceH)
-	mgr := a11y.NewManager(clock, screen)
 	obf := idx%20 < int(obfuscationRate*20) // 17 of every 20 apps
-	a := app.Launch(clock, mgr, app.Config{
-		Package:         fmt.Sprintf("com.app%03d", idx),
-		Obfuscate:       obf,
-		MeanAUIInterval: 12 * time.Second,
-		GenSeed:         int64(1000 + idx),
+	h := fleet.NewHandset(fleet.HandsetConfig{
+		Seed:    int64(DeviceSeed + idx),
+		ScreenW: deviceW, ScreenH: deviceH,
+		App: app.Config{
+			Package:         fmt.Sprintf("com.app%03d", idx),
+			Obfuscate:       obf,
+			MeanAUIInterval: 12 * time.Second,
+			GenSeed:         int64(1000 + idx),
+		},
+		MonkeyPeriod: 8 * time.Second,
+		Service: core.Config{
+			Cutoff: ct, Mode: mode,
+			// On-device screens carry benign content the detector never
+			// sees at training resolution; a higher operating threshold
+			// keeps screen-level precision up (the deployment knob every
+			// detector exposes).
+			ConfThresh: 0.80,
+		},
 	})
-	monkey := app.StartMonkey(clock, mgr, "monkey", 8*time.Second)
 	var fd frauddroid.Detector
 
 	// Expose the run's screen to metadata-based backends for the duration of
 	// this session (device runs are sequential, so a single slot suffices).
-	e.curScreen = screen
+	e.curScreen = h.Screen
 	defer func() { e.curScreen = nil }()
 
 	var res runResult
 	caught := map[*app.AUIShowing]bool{}
-	svc := core.Start(clock, mgr, e.runDetector(), core.Config{
-		Cutoff: ct, Mode: mode,
-		// On-device screens carry benign content the detector never sees
-		// at training resolution; a higher operating threshold keeps
-		// screen-level precision up (the deployment knob every detector
-		// exposes).
-		ConfThresh: 0.80,
-	})
+	svc := h.Start(e.runDetector())
 	svc.OnAnalysis = func(an core.Analysis) {
-		showing := a.Current()
+		showing := h.App.Current()
 		labelled := showing != nil
 		flagged := false
 		for _, d := range an.Detections {
@@ -107,13 +107,11 @@ func (e *Env) runApp(idx int, ct time.Duration, mode core.Mode, withFD bool) run
 			caught[showing] = true
 		}
 		if withFD {
-			res.fdConf.Add(labelled, fd.DetectScreen(screen).IsAUI)
+			res.fdConf.Add(labelled, fd.DetectScreen(h.Screen).IsAUI)
 		}
 	}
-	clock.RunUntil(appRunTime)
-	monkey.Stop()
-	svc.Stop()
-	a.Stop()
+	h.Run(appRunTime)
+	h.Stop()
 
 	st := svc.Stats()
 	res.activity = perfmodel.Activity{
@@ -123,10 +121,10 @@ func (e *Env) runApp(idx int, ct time.Duration, mode core.Mode, withFD bool) run
 		Decorations:     st.DecorationsDrawn,
 	}
 	res.screens = st.Analyses
-	res.eventsTotal = mgr.Stats().Emitted
-	for _, h := range a.History() {
+	res.eventsTotal = h.Mgr.Stats().Emitted
+	for _, shown := range h.App.History() {
 		res.auisShown++
-		if caught[h] {
+		if caught[shown] {
 			res.auisCaught++
 		}
 	}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/a11y"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/sim"
+	"repro/internal/uikit"
+)
+
+// HandsetConfig assembles one fully simulated device. Zero values take the
+// darpa-sim defaults: a 384x640 screen and a 2s Monkey.
+type HandsetConfig struct {
+	// Seed drives the handset's clock (and through it the Monkey and the
+	// app's popup schedule).
+	Seed int64
+	// ScreenW/ScreenH set the display resolution; zero means 384x640.
+	ScreenW, ScreenH int
+	// App configures the simulated foreground app (package name, AUI
+	// cadence, obfuscation).
+	App app.Config
+	// MonkeyPeriod is the random-tap interval; zero means 2s.
+	MonkeyPeriod time.Duration
+	// Service configures the DARPA accessibility service started by Start.
+	Service core.Config
+}
+
+// Handset is one complete simulated device: virtual clock, screen,
+// accessibility manager, a foreground app popping AUIs, a Monkey tapping at
+// it, and the DARPA service watching through the a11y layer. It is the
+// single-device counterpart to the event-driven fleet — experiments and
+// darpa-sim's classic mode both run exactly this assembly, so their
+// construction order (and with it their replay behaviour) can never drift
+// apart again.
+//
+// Construction is two-phase: NewHandset wires the passive pieces (clock,
+// screen, manager) so callers can point detector build contexts at the
+// screen; Start then launches the active ones against a detector.
+type Handset struct {
+	Clock   *sim.Clock
+	Screen  *uikit.Screen
+	Mgr     *a11y.Manager
+	App     *app.App
+	Monkey  *app.Monkey
+	Service *core.Service
+
+	cfg HandsetConfig
+}
+
+// NewHandset builds the passive half of a device: clock, screen and
+// accessibility manager. Nothing is scheduled yet.
+func NewHandset(cfg HandsetConfig) *Handset {
+	if cfg.ScreenW <= 0 {
+		cfg.ScreenW = 384
+	}
+	if cfg.ScreenH <= 0 {
+		cfg.ScreenH = 640
+	}
+	if cfg.MonkeyPeriod <= 0 {
+		cfg.MonkeyPeriod = 2 * time.Second
+	}
+	clock := sim.NewClock(cfg.Seed)
+	screen := uikit.NewScreen(cfg.ScreenW, cfg.ScreenH)
+	return &Handset{
+		Clock:  clock,
+		Screen: screen,
+		Mgr:    a11y.NewManager(clock, screen),
+		cfg:    cfg,
+	}
+}
+
+// Start launches the app, the Monkey and the DARPA service (in that order,
+// matching the pre-extraction callers) and returns the service so callers
+// can attach OnAnalysis hooks before any virtual time passes.
+func (h *Handset) Start(det detect.Detector) *core.Service {
+	h.App = app.Launch(h.Clock, h.Mgr, h.cfg.App)
+	h.Monkey = app.StartMonkey(h.Clock, h.Mgr, "monkey", h.cfg.MonkeyPeriod)
+	h.Service = core.Start(h.Clock, h.Mgr, det, h.cfg.Service)
+	return h.Service
+}
+
+// Run advances the handset's virtual clock to the given elapsed time.
+func (h *Handset) Run(d time.Duration) { h.Clock.RunUntil(d) }
+
+// Stop tears the active pieces down in the order every caller used: Monkey
+// first (no new taps), then the service, then the app.
+func (h *Handset) Stop() {
+	if h.Monkey != nil {
+		h.Monkey.Stop()
+	}
+	if h.Service != nil {
+		h.Service.Stop()
+	}
+	if h.App != nil {
+		h.App.Stop()
+	}
+}

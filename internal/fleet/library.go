@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"repro/internal/auigen"
+	"repro/internal/tensor"
+	"repro/internal/yolite"
+)
+
+// library is the fleet's shared screen pool: K unique AUI screens and K
+// unique benign screens, pre-rendered to model-input tensors once at startup.
+// Devices pick from it per analysis with their own RNG, so 100k devices
+// generate realistic request *traffic* (every request still rides admission,
+// the scheduler, a replica's result cache and — on a miss — a real forward)
+// without paying 100k renders per virtual second. The per-replica result
+// caches then see a realistic working set: at most 2K distinct tensors, the
+// same dedup a production fleet's repeated screens exhibit.
+type library struct {
+	aui []*tensor.Tensor // screens showing an asymmetric dark UI
+	neg []*tensor.Tensor // benign screens
+}
+
+// buildLibrary renders the pool. n bounds each class; seed keeps the pool —
+// and with it every cache interaction — deterministic per run seed.
+func buildLibrary(seed int64, n int) *library {
+	lib := &library{
+		aui: make([]*tensor.Tensor, 0, n),
+		neg: make([]*tensor.Tensor, 0, n),
+	}
+	for _, s := range auigen.BuildAUISamples(seed, n, auigen.DatasetConfig{}) {
+		lib.aui = append(lib.aui, yolite.CanvasToTensor(s.Input))
+	}
+	for _, s := range auigen.BuildNegativeSamples(seed+1, n, auigen.DatasetConfig{}) {
+		lib.neg = append(lib.neg, yolite.CanvasToTensor(s.Input))
+	}
+	return lib
+}

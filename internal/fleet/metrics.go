@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"repro/internal/metrics"
+)
+
+// Families renders the run ledger as metric families: the fleet's own
+// counters first, then the serving stack's and the latency recorder's, so one
+// WriteText/WriteJSON call captures the whole run — this is what darpa-sim
+// dumps per run and what BENCH_fleet.json records per sweep point.
+func (r *Result) Families() []metrics.Family {
+	secs := r.Duration.Seconds()
+	rps := 0.0
+	if r.Wall > 0 {
+		rps = float64(r.Analyses) / r.Wall.Seconds()
+	}
+	fams := []metrics.Family{
+		metrics.Gauge("darpa_fleet_devices",
+			"Simulated devices in the run.", metrics.V(float64(r.Devices))),
+		metrics.Gauge("darpa_fleet_sim_seconds",
+			"Simulated (virtual) run length.", metrics.V(secs)),
+		metrics.Gauge("darpa_fleet_wall_seconds",
+			"Real time the run took.", metrics.V(r.Wall.Seconds())),
+		metrics.Counter("darpa_fleet_events_total",
+			"Accessibility events across the fleet by fate.",
+			metrics.L(float64(r.Events), "kind", "seen"),
+			metrics.L(float64(r.Debounced), "kind", "debounced")),
+		metrics.Counter("darpa_fleet_analyses_total",
+			"Analysis cycles by outcome.",
+			metrics.L(float64(r.Analyses), "outcome", "completed"),
+			metrics.L(float64(r.Superseded), "outcome", "superseded"),
+			metrics.L(float64(r.RateLimited), "outcome", "rate_limited"),
+			metrics.L(float64(r.Shed), "outcome", "shed"),
+			metrics.L(float64(r.Degraded), "outcome", "degraded")),
+		metrics.Counter("darpa_fleet_aui_flagged_total",
+			"Completed analyses that detected at least one AUI option.",
+			metrics.V(float64(r.Flagged))),
+		metrics.Counter("darpa_fleet_popups_total",
+			"AUI popups by fate.",
+			metrics.L(float64(r.Popups), "kind", "shown"),
+			metrics.L(float64(r.Bypassed), "kind", "bypassed")),
+		metrics.Gauge("darpa_fleet_throughput_rps",
+			"Completed analyses per wall-clock second.", metrics.V(rps)),
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		rate := float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
+		fams = append(fams,
+			metrics.Counter("darpa_cache_requests_total",
+				"Result-cache lookups across all replica caches.",
+				metrics.L(float64(r.CacheHits), "outcome", "hit"),
+				metrics.L(float64(r.CacheMisses), "outcome", "miss")),
+			metrics.Gauge("darpa_cache_hit_rate",
+				"Fraction of lookups answered from a result cache.",
+				metrics.V(rate)))
+	}
+	fams = append(fams, r.Serve.Families()...)
+	if r.Timings != nil {
+		fams = append(fams, r.Timings.Families()...)
+	}
+	return fams
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// A shapeFunc maps a point in the run to a traffic-rate multiplier: device
+// burst intervals are divided by it, so 1.0 is the paper's steady Taobao
+// storm, >1 is denser traffic, <1 sparser. Shapes are pure functions of
+// virtual time — no state, no randomness — so they cannot perturb replay.
+type shapeFunc func(t, total time.Duration) float64
+
+// Traffic shape names accepted by Config.Shape.
+const (
+	ShapeSteady  = "steady"
+	ShapeDiurnal = "diurnal"
+	ShapeSpike   = "spike"
+)
+
+// shapeFor resolves a shape by name; empty means steady.
+func shapeFor(name string) (shapeFunc, error) {
+	switch name {
+	case "", ShapeSteady:
+		// The paper's measured workload: ~32 events/min, all run long.
+		return func(time.Duration, time.Duration) float64 { return 1 }, nil
+	case ShapeDiurnal:
+		// One compressed day: quiet at the start and end of the run, peak in
+		// the middle. Multiplier sweeps 0.4 → 1.6 → 0.4 on a cosine, so the
+		// mean rate over the whole run stays ~1x while the scheduler sees a
+		// 4x swing between trough and peak.
+		return func(t, total time.Duration) float64 {
+			if total <= 0 {
+				return 1
+			}
+			phase := 2 * math.Pi * float64(t) / float64(total)
+			return 1 - 0.6*math.Cos(phase)
+		}, nil
+	case ShapeSpike:
+		// Flash crowd: steady background, then a 5x surge over the 40%-50%
+		// window of the run — the burst an audit farm sees when a store-wide
+		// scan kicks off mid-day.
+		return func(t, total time.Duration) float64 {
+			if total <= 0 {
+				return 1
+			}
+			frac := float64(t) / float64(total)
+			if frac >= 0.40 && frac < 0.50 {
+				return 5
+			}
+			return 1
+		}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown traffic shape %q (want %s, %s or %s)",
+		name, ShapeSteady, ShapeDiurnal, ShapeSpike)
+}

@@ -9,6 +9,8 @@
 //	                 fleet-stats frames, with heartbeats and per-client
 //	                 drop-on-slow buffers
 //	GET  /v1/stats   one JSON fleet snapshot
+//	GET  /metrics    Prometheus text exposition (admission, scheduler,
+//	                 replica health, stage latencies, HTTP/SSE counters)
 //	GET  /healthz    readiness probe
 //
 // The handler chain is deliberately thin: tenant identity comes off the
@@ -170,6 +172,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }

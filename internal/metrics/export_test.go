@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFamilies() []Family {
+	return []Family{
+		Counter("darpa_events_total", "Accessibility events seen.", V(1234)),
+		Gauge("darpa_fleet_devices", "Devices simulated.", V(100000)),
+		{
+			Name: "darpa_stage_latency_seconds",
+			Help: "Per-stage latency.",
+			Type: TypeSummary,
+			Samples: []Sample{
+				L(0.015, "stage", "infer", "quantile", "0.5"),
+				L(0.042, "stage", "infer", "quantile", "0.99"),
+				{Suffix: "_sum", Labels: map[string]string{"stage": "infer"}, Value: 12.5},
+				{Suffix: "_count", Labels: map[string]string{"stage": "infer"}, Value: 900},
+			},
+		},
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	got := TextString(sampleFamilies())
+	want := strings.Join([]string{
+		"# HELP darpa_events_total Accessibility events seen.",
+		"# TYPE darpa_events_total counter",
+		"darpa_events_total 1234",
+		"# HELP darpa_fleet_devices Devices simulated.",
+		"# TYPE darpa_fleet_devices gauge",
+		"darpa_fleet_devices 100000",
+		"# HELP darpa_stage_latency_seconds Per-stage latency.",
+		"# TYPE darpa_stage_latency_seconds summary",
+		`darpa_stage_latency_seconds{quantile="0.5",stage="infer"} 0.015`,
+		`darpa_stage_latency_seconds{quantile="0.99",stage="infer"} 0.042`,
+		`darpa_stage_latency_seconds_sum{stage="infer"} 12.5`,
+		`darpa_stage_latency_seconds_count{stage="infer"} 900`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("text exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTextDeterministicLabelOrder(t *testing.T) {
+	f := Family{Name: "m", Type: TypeGauge, Samples: []Sample{
+		{Labels: map[string]string{"zeta": "1", "alpha": "2", "mid": "3"}, Value: 1},
+	}}
+	a := TextString([]Family{f})
+	for i := 0; i < 20; i++ {
+		if b := TextString([]Family{f}); b != a {
+			t.Fatalf("non-deterministic rendering:\n%s\nvs\n%s", a, b)
+		}
+	}
+	if !strings.Contains(a, `m{alpha="2",mid="3",zeta="1"} 1`) {
+		t.Errorf("labels not sorted by key: %q", a)
+	}
+}
+
+func TestWriteTextSpecialValues(t *testing.T) {
+	got := TextString([]Family{Gauge("g", "", L(math.Inf(1), "k", "a"),
+		L(math.Inf(-1), "k", "b"), L(math.NaN(), "k", "c"))})
+	for _, want := range []string{`g{k="a"} +Inf`, `g{k="b"} -Inf`, `g{k="c"} NaN`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestWriteTextEscapesHelpAndLabels(t *testing.T) {
+	got := TextString([]Family{Gauge("g", "line one\nline two \\ done",
+		L(1, "path", `a"b\c`))})
+	if !strings.Contains(got, `# HELP g line one\nline two \\ done`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `g{path="a\"b\\c"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+	if n, err := ValidateText(strings.NewReader(got)); err != nil || n != 1 {
+		t.Errorf("escaped output does not validate: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateTextAcceptsOwnOutput(t *testing.T) {
+	text := TextString(sampleFamilies())
+	n, err := ValidateText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ValidateText rejected WriteText output: %v\n%s", err, text)
+	}
+	if n != 6 {
+		t.Errorf("ValidateText counted %d samples, want 6", n)
+	}
+}
+
+func TestValidateTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared series": "series_without_type 1\n",
+		"bad value":         "# TYPE m gauge\nm not-a-number\n",
+		"bad name":          "# TYPE 9bad gauge\n9bad 1\n",
+		"unclosed labels":   "# TYPE m gauge\nm}{ 1\n",
+		"bad type":          "# TYPE m wibble\nm 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ValidateText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ValidateText accepted %q", name, text)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []Family `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(doc.Families) != 3 {
+		t.Fatalf("got %d families, want 3", len(doc.Families))
+	}
+	if doc.Families[2].Samples[2].Suffix != "_sum" {
+		t.Errorf("summary suffix lost in round trip: %+v", doc.Families[2].Samples[2])
+	}
+	if doc.Families[0].Type != TypeCounter {
+		t.Errorf("family type lost: %v", doc.Families[0].Type)
+	}
+}
+
+func TestLPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("L with odd key/value count did not panic")
+		}
+	}()
+	L(1, "only-key")
+}

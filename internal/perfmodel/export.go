@@ -1,0 +1,56 @@
+package perfmodel
+
+// Metric export: Timings renders its per-stage latency counters as summary
+// families, turning the recorder every serving layer already feeds into the
+// telemetry the fleet harness dumps and GET /metrics serves.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Families renders the recorder as metric families: one summary family
+// (p50/p95/p99 quantiles over the recent window, plus _sum/_count all-time)
+// and one max gauge, both labelled by stage. The snapshot is taken under one
+// lock acquisition, so the families are mutually consistent. A nil recorder
+// exports nothing.
+func (t *Timings) Families() []metrics.Family {
+	snap := t.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	latency := metrics.Family{
+		Name: "darpa_stage_latency_seconds",
+		Help: "Per-stage latency: p50/p95/p99 over the recent observation window, sum/count all-time.",
+		Type: metrics.TypeSummary,
+	}
+	maxes := metrics.Family{
+		Name: "darpa_stage_latency_max_seconds",
+		Help: "Largest latency ever observed per stage.",
+		Type: metrics.TypeGauge,
+	}
+	for _, name := range names {
+		s := snap[name]
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{{"0.5", s.P50()}, {"0.95", s.P95()}, {"0.99", s.P99()}} {
+			latency.Samples = append(latency.Samples,
+				metrics.L(q.v.Seconds(), "stage", name, "quantile", q.label))
+		}
+		latency.Samples = append(latency.Samples,
+			metrics.Sample{Suffix: "_sum", Labels: map[string]string{"stage": name}, Value: s.Total.Seconds()},
+			metrics.Sample{Suffix: "_count", Labels: map[string]string{"stage": name}, Value: float64(s.Count)},
+		)
+		maxes.Samples = append(maxes.Samples, metrics.L(s.Max.Seconds(), "stage", name))
+	}
+	return []metrics.Family{latency, maxes}
+}

@@ -1,0 +1,103 @@
+package serve
+
+// Metric export: the serving stack's three-layer snapshot (admission ledger,
+// scheduler counters, replica health) rendered as metric families for the
+// /metrics endpoint and the fleet harness's per-run dumps.
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Families renders the snapshot as metric families. Sample order is
+// deterministic (verdicts in ledger order, tenants sorted, replicas by ID),
+// so equal snapshots render byte-identically.
+func (s Stats) Families() []metrics.Family {
+	admission := metrics.Counter("darpa_admission_requests_total",
+		"Admission ledger by verdict; offered == admitted + shed + rejected.",
+		metrics.L(float64(s.Offered), "verdict", "offered"),
+		metrics.L(float64(s.Admitted), "verdict", "admitted"),
+		metrics.L(float64(s.Shed), "verdict", "shed"),
+		metrics.L(float64(s.Rejected), "verdict", "rejected"),
+	)
+	tenants := metrics.Family{
+		Name: "darpa_admission_tenant_requests_total",
+		Help: "Per-tenant admission ledger by verdict.",
+		Type: metrics.TypeCounter,
+	}
+	ids := make([]string, 0, len(s.Tenants))
+	for id := range s.Tenants {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ts := s.Tenants[TenantID(id)]
+		tenants.Samples = append(tenants.Samples,
+			metrics.L(float64(ts.Offered), "tenant", id, "verdict", "offered"),
+			metrics.L(float64(ts.Admitted), "tenant", id, "verdict", "admitted"),
+			metrics.L(float64(ts.Shed), "tenant", id, "verdict", "shed"),
+			metrics.L(float64(ts.Rejected), "tenant", id, "verdict", "rejected"),
+		)
+	}
+
+	scheduler := metrics.Counter("darpa_scheduler_requests_total",
+		"Scheduler outcomes: items served, requests pruned in queue, per-request failures.",
+		metrics.L(float64(s.Items), "outcome", "served"),
+		metrics.L(float64(s.Cancelled), "outcome", "cancelled"),
+		metrics.L(float64(s.Failed), "outcome", "failed"),
+	)
+	batches := metrics.Counter("darpa_scheduler_batches_total",
+		"Forwards dispatched after threshold/shape grouping.",
+		metrics.L(float64(s.Batches), "kind", "dispatched"),
+		metrics.L(float64(s.Poisoned), "kind", "poisoned"),
+	)
+	gauges := metrics.Gauge("darpa_scheduler_watermarks",
+		"Scheduler high-water marks: largest coalesced batch, deepest queue.",
+		metrics.L(float64(s.MaxBatchSize), "mark", "max_batch_size"),
+		metrics.L(float64(s.MaxQueueDepth), "mark", "max_queue_depth"),
+	)
+
+	repItems := metrics.Family{
+		Name: "darpa_replica_requests_total",
+		Help: "Per-replica requests answered, by outcome.",
+		Type: metrics.TypeCounter,
+	}
+	repBusy := metrics.Family{
+		Name: "darpa_replica_busy_seconds_total",
+		Help: "Wall time each replica spent in forwards.",
+		Type: metrics.TypeCounter,
+	}
+	repHealth := metrics.Family{
+		Name: "darpa_replica_health",
+		Help: "Per-replica health: benched state (0/1) and bench trips.",
+		Type: metrics.TypeGauge,
+	}
+	for _, r := range s.Replicas {
+		id := strconv.Itoa(r.ID)
+		repItems.Samples = append(repItems.Samples,
+			metrics.L(float64(r.Items), "replica", id, "outcome", "served"),
+			metrics.L(float64(r.Failed), "replica", id, "outcome", "failed"),
+		)
+		repBusy.Samples = append(repBusy.Samples, metrics.L(r.Busy.Seconds(), "replica", id))
+		benched := 0.0
+		if r.Benched {
+			benched = 1
+		}
+		repHealth.Samples = append(repHealth.Samples,
+			metrics.L(benched, "replica", id, "state", "benched"),
+			metrics.L(float64(r.BenchTrips), "replica", id, "state", "bench_trips"),
+		)
+	}
+
+	fams := []metrics.Family{admission}
+	if len(tenants.Samples) > 0 {
+		fams = append(fams, tenants)
+	}
+	fams = append(fams, scheduler, batches, gauges)
+	if len(repItems.Samples) > 0 {
+		fams = append(fams, repItems, repBusy, repHealth)
+	}
+	return fams
+}

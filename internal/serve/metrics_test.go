@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestStatsFamilies(t *testing.T) {
+	st := Stats{
+		Batches: 10, Items: 80, MaxBatchSize: 16, MaxQueueDepth: 32,
+		Cancelled: 3, Poisoned: 1, Failed: 2,
+		Offered: 100, Admitted: 80, Shed: 15, Rejected: 5,
+		Tenants: map[TenantID]TenantStats{
+			"tenant0": {Offered: 60, Admitted: 50, Shed: 8, Rejected: 2},
+			"tenant1": {Offered: 40, Admitted: 30, Shed: 7, Rejected: 3},
+		},
+		Replicas: []ReplicaStats{
+			{ID: 0, Batches: 6, Items: 50, Failed: 1, Busy: 250 * time.Millisecond, BenchTrips: 1, Benched: true},
+			{ID: 1, Batches: 4, Items: 30, Busy: 100 * time.Millisecond},
+		},
+	}
+	text := metrics.TextString(st.Families())
+	if n, err := metrics.ValidateText(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("families invalid (n=%d): %v\n%s", n, err, text)
+	}
+	for _, want := range []string{
+		`darpa_admission_requests_total{verdict="offered"} 100`,
+		`darpa_admission_requests_total{verdict="admitted"} 80`,
+		`darpa_admission_requests_total{verdict="shed"} 15`,
+		`darpa_admission_requests_total{verdict="rejected"} 5`,
+		`darpa_admission_tenant_requests_total{tenant="tenant0",verdict="offered"} 60`,
+		`darpa_admission_tenant_requests_total{tenant="tenant1",verdict="rejected"} 3`,
+		`darpa_scheduler_requests_total{outcome="served"} 80`,
+		`darpa_scheduler_requests_total{outcome="cancelled"} 3`,
+		`darpa_scheduler_batches_total{kind="dispatched"} 10`,
+		`darpa_scheduler_batches_total{kind="poisoned"} 1`,
+		`darpa_scheduler_watermarks{mark="max_batch_size"} 16`,
+		`darpa_replica_requests_total{outcome="served",replica="0"} 50`,
+		`darpa_replica_busy_seconds_total{replica="0"} 0.25`,
+		`darpa_replica_health{replica="0",state="benched"} 1`,
+		`darpa_replica_health{replica="1",state="benched"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing series %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStatsFamiliesLedgerInvariant renders a live Batcher's snapshot and
+// checks the exported admission verdicts still satisfy the ledger invariant.
+func TestStatsFamiliesLedgerInvariant(t *testing.T) {
+	st := Stats{Offered: 7, Admitted: 4, Shed: 2, Rejected: 1}
+	text := metrics.TextString(st.Families())
+	if !strings.Contains(text, `{verdict="offered"} 7`) {
+		t.Fatalf("offered series missing:\n%s", text)
+	}
+	// offered == admitted + shed + rejected must survive the rendering.
+	if !strings.Contains(text, `{verdict="admitted"} 4`) ||
+		!strings.Contains(text, `{verdict="shed"} 2`) ||
+		!strings.Contains(text, `{verdict="rejected"} 1`) {
+		t.Errorf("ledger components missing:\n%s", text)
+	}
+}
+
+func TestStatsFamiliesEmptyTenantsAndReplicas(t *testing.T) {
+	fams := Stats{}.Families()
+	for _, f := range fams {
+		if f.Name == "darpa_admission_tenant_requests_total" || f.Name == "darpa_replica_requests_total" {
+			t.Errorf("empty snapshot exported %s", f.Name)
+		}
+	}
+	text := metrics.TextString(fams)
+	if n, err := metrics.ValidateText(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("empty snapshot invalid (n=%d): %v", n, err)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCancelAtFireTimestamp: an event cancelled by another event firing at
+// the very same virtual instant must not run — the fleet leans on this when
+// an a11y event and the debounce timer it re-arms land on one timestamp.
+func TestCancelAtFireTimestamp(t *testing.T) {
+	c := NewClock(1)
+	fired := false
+	var victim *Event
+	// Same deadline; the canceller was scheduled first, so FIFO order fires
+	// it first and the victim must stay dead even though it is already due.
+	c.Schedule(10*time.Millisecond, func() { victim.Cancel() })
+	victim = c.Schedule(10*time.Millisecond, func() { fired = true })
+	c.Drain(10)
+	if fired {
+		t.Fatal("event cancelled at its own fire timestamp still fired")
+	}
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("clock at %v, want 10ms", c.Now())
+	}
+}
+
+// TestRunUntilInclusiveDeadline: an event at exactly the RunUntil deadline
+// fires in that run — the boundary the fleet's end-of-run accounting
+// depends on.
+func TestRunUntilInclusiveDeadline(t *testing.T) {
+	c := NewClock(1)
+	fired := false
+	c.Schedule(time.Second, func() { fired = true })
+	if n := c.RunUntil(time.Second); n != 1 || !fired {
+		t.Fatalf("RunUntil(1s) fired %d events (fired=%v), want the deadline event", n, fired)
+	}
+}
+
+// TestDrainSchedulesNewEvents: events scheduled by events already inside
+// Drain must themselves fire — Drain keeps going until the queue is truly
+// empty, not just until the events that existed when it was called.
+func TestDrainSchedulesNewEvents(t *testing.T) {
+	c := NewClock(1)
+	var order []string
+	c.Schedule(time.Millisecond, func() {
+		order = append(order, "a")
+		c.Schedule(time.Millisecond, func() {
+			order = append(order, "b")
+			c.Schedule(time.Millisecond, func() { order = append(order, "c") })
+		})
+	})
+	if n := c.Drain(10); n != 3 {
+		t.Fatalf("Drain fired %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("chain fired as %v, want [a b c]", order)
+	}
+	if c.Now() != 3*time.Millisecond {
+		t.Fatalf("clock at %v after chained drain, want 3ms", c.Now())
+	}
+}
+
+// TestPropertySameTimestampFIFO: for any random mix of deadlines, events
+// sharing a deadline fire in the order they were scheduled. This is the
+// property TestEqualDeadlinesFIFO spot-checks, quick-checked across random
+// schedules — it is what makes two same-seed fleet runs replay identically
+// when thousands of device events collide on popular timestamps.
+func TestPropertySameTimestampFIFO(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewClock(seed)
+		count := int(n%64) + 2
+		type fireRec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []fireRec
+		for i := 0; i < count; i++ {
+			i := i
+			// Few distinct deadlines, so collisions are the norm.
+			at := time.Duration(rng.Intn(8)) * time.Millisecond
+			c.ScheduleAt(at, func() { fired = append(fired, fireRec{at: c.Now(), seq: i}) })
+		}
+		c.Drain(count * 2)
+		if len(fired) != count {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			prev, cur := fired[i-1], fired[i]
+			if cur.at < prev.at {
+				return false // time went backwards
+			}
+			if cur.at == prev.at && cur.seq < prev.seq {
+				return false // FIFO broken within a timestamp
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelInsideOwnTimestampBatch: several events on one timestamp where
+// the middle one cancels the last; earlier cancellations must not disturb
+// the surviving events' order.
+func TestCancelInsideOwnTimestampBatch(t *testing.T) {
+	c := NewClock(1)
+	var got []int
+	var e3 *Event
+	c.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(time.Millisecond, func() { got = append(got, 2); e3.Cancel() })
+	e3 = c.Schedule(time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(time.Millisecond, func() { got = append(got, 4) })
+	c.Drain(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("fired %v, want [1 2 4]", got)
+	}
+}
