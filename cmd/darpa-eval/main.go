@@ -5,6 +5,8 @@
 // Usage:
 //
 //	darpa-eval [-quick] [-weights weights] [-iou 0.9] [-detector yolite-int8] [-batch 8] [-list]
+//	darpa-eval -attack [-attack-seed 7002] [-write-corpus] [-attack-out BENCH_adversary.json]
+//	darpa-eval -attack-smoke
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"log"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/experiments"
@@ -29,10 +32,44 @@ func main() {
 	detector := flag.String("detector", "yolite-int8", "registry backend to evaluate (see -list)")
 	batch := flag.Int("batch", detect.DefaultEvalBatch, "screens per inference batch (1 = per-item loop)")
 	list := flag.Bool("list", false, "list registered detector backends and exit")
+	attack := flag.Bool("attack", false, "run the adversarial sweep: search, mine, recall-under-attack, harden")
+	attackSmoke := flag.Bool("attack-smoke", false, "seeded 30-iteration attack replay check (CI smoke)")
+	attackSeed := flag.Int64("attack-seed", 7002, "master seed for the adversarial sweep")
+	attackIters := flag.Int("attack-iters", 40, "hill-climb iterations per restart")
+	attackRestarts := flag.Int("attack-restarts", 3, "seeded restarts of the attack search")
+	attackScreens := flag.Int("attack-screens", 6, "screens guiding the search objective")
+	attackEval := flag.Int("attack-eval", 80, "held-out screens per recall-under-attack condition")
+	attackCorpus := flag.Int("attack-corpus", 64, "candidate seeds mined into the corpus")
+	// The attack eval matches at IoU 0.5 rather than the paper's 0.9: the
+	// knob attack legally moves and resizes the ground-truth boxes, so 0.9
+	// would measure pixel-perfect localisation of perturbed geometry instead
+	// of the question that matters here — does the detector still fire on
+	// the dark pattern at all.
+	attackIoU := flag.Float64("attack-iou", 0.5, "IoU matching threshold for the adversarial eval")
+	attackOut := flag.String("attack-out", "BENCH_adversary.json", "adversarial benchmark output (empty = skip)")
+	corpusPath := flag.String("corpus-path", adversary.DefaultCorpusPath, "mined corpus location")
+	writeCorpus := flag.Bool("write-corpus", false, "overwrite the checked-in corpus with this run's mine")
+	attackSkipRCNN := flag.Bool("attack-skip-rcnn", false, "leave the RCNN baseline out of the vote (faster)")
+	hardenEpochs := flag.Int("harden-epochs", 20, "adversarial fine-tune epochs")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(detect.Names(), "\n"))
+		return
+	}
+	// The attack modes build their own backends and screens; they run before
+	// NewEnv, which would eagerly generate the full 1072-sample dataset.
+	if *attackSmoke {
+		runAttackSmoke(*weights, *attackSeed)
+		return
+	}
+	if *attack {
+		runAttack(attackFlags{
+			seed: *attackSeed, iters: *attackIters, restarts: *attackRestarts,
+			screens: *attackScreens, evalN: *attackEval, corpusN: *attackCorpus,
+			iou: *attackIoU, weights: *weights, out: *attackOut, corpusPath: *corpusPath,
+			writeCorpus: *writeCorpus, skipRCNN: *attackSkipRCNN, hardenEpochs: *hardenEpochs,
+		})
 		return
 	}
 

@@ -1,0 +1,61 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/auigen"
+	"repro/internal/yolite"
+)
+
+// TestHardenClonesBeforeTraining pins the no-mutation contract: Harden must
+// fine-tune a copy and leave the deployed model's weights untouched.
+func TestHardenClonesBeforeTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	m := yolite.NewModel(1)
+	at := EvalScreens([]int64{3}, auigen.Knobs{UPOAlpha: -0.5}, auigen.DatasetConfig{})
+	clean := Samples(EvalScreens([]int64{3}, auigen.Knobs{}, auigen.DatasetConfig{}))
+
+	x := yolite.CanvasToTensor(clean[0].Input)
+	before := m.PredictTensor(x, 0, 0.01)
+
+	hardened, err := Harden(m, at, clean, HardenConfig{Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("Harden: %v", err)
+	}
+	if hardened == m {
+		t.Fatal("Harden returned the original model, not a clone")
+	}
+	after := m.PredictTensor(x, 0, 0.01)
+	if len(before) != len(after) {
+		t.Fatalf("original model changed: %d vs %d detections", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("original model weights changed: detection %d %+v vs %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestCloneIsIndependent pins that a clone predicts identically until
+// trained, then diverges without affecting the source.
+func TestCloneIsIndependent(t *testing.T) {
+	m := yolite.NewModel(7)
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	at := EvalScreens([]int64{5}, auigen.Knobs{}, auigen.DatasetConfig{})
+	x := yolite.CanvasToTensor(at[0].Sample.Input)
+	a := m.PredictTensor(x, 0, 0.01)
+	b := c.PredictTensor(x, 0, 0.01)
+	if len(a) != len(b) {
+		t.Fatalf("clone diverges before training: %d vs %d detections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone diverges before training at detection %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

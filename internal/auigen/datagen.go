@@ -1,8 +1,11 @@
 package auigen
 
 import (
+	"math/rand"
+
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/render"
 	"repro/internal/uikit"
 )
 
@@ -18,6 +21,14 @@ type DatasetConfig struct {
 	// MaskText blurs every recorded label region before resampling — the
 	// language-independence experiment of Table IV / Figure 7.
 	MaskText bool
+	// NoiseAmp adds seeded uniform luma noise of ±NoiseAmp (as a fraction
+	// of full scale, capped at 0.25) to the composed screen before
+	// resampling. This is the background-texture surface the adversarial
+	// search (internal/adversary) perturbs; zero renders clean.
+	NoiseAmp float64
+	// NoiseSeed seeds the noise pattern so attacked screens replay
+	// bit-identically.
+	NoiseSeed int64
 	// Gen configures the AUI generator itself.
 	Gen Config
 }
@@ -39,6 +50,14 @@ func (c DatasetConfig) input() (int, int) {
 // RenderAUI composes one AUI over a random benign base screen and returns
 // the labelled sample at model input resolution.
 func (g *Generator) RenderAUI(a *AUI, cfg DatasetConfig) *dataset.Sample {
+	s, _ := g.RenderAUIScreen(a, cfg)
+	return s
+}
+
+// RenderAUIScreen is RenderAUI but also returns the composed screen, whose
+// window/view metadata the FraudDroid-style baseline and the adversarial
+// eval harness inspect alongside the pixels.
+func (g *Generator) RenderAUIScreen(a *AUI, cfg DatasetConfig) (*dataset.Sample, *uikit.Screen) {
 	sw, sh := cfg.screen()
 	iw, ih := cfg.input()
 	screen := uikit.NewScreen(sw, sh)
@@ -65,6 +84,7 @@ func (g *Generator) RenderAUI(a *AUI, cfg DatasetConfig) *dataset.Sample {
 			canvas.BoxBlur(tr.Translate(frame.X, frame.Y).Inset(-1), 3)
 		}
 	}
+	applyNoise(canvas, cfg.NoiseAmp, cfg.NoiseSeed)
 	input := canvas.Downscale(iw, ih)
 	sx := float64(iw) / float64(sw)
 	sy := float64(ih) / float64(sh)
@@ -74,7 +94,44 @@ func (g *Generator) RenderAUI(a *AUI, cfg DatasetConfig) *dataset.Sample {
 		moved := geom.BoxF{X: b.B.X + float64(frame.X), Y: b.B.Y + float64(frame.Y), W: b.B.W, H: b.B.H}
 		sample.Boxes = append(sample.Boxes, dataset.Box{Class: b.Class, B: moved.Scale(sx, sy)})
 	}
-	return sample
+	return sample, screen
+}
+
+// applyNoise perturbs every pixel with seeded uniform luma noise. Amplitude
+// is a fraction of full scale; values above 0.25 are capped so no knob
+// vector can wash a screen out entirely.
+func applyNoise(c *render.Canvas, amp float64, seed int64) {
+	if !(amp > 0) {
+		return
+	}
+	if amp > 0.25 {
+		amp = 0.25
+	}
+	span := int(amp*255 + 0.5)
+	if span <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			d := rng.Intn(2*span+1) - span
+			px := c.At(x, y)
+			px.R = clampU8(int(px.R) + d)
+			px.G = clampU8(int(px.G) + d)
+			px.B = clampU8(int(px.B) + d)
+			c.Set(x, y, px)
+		}
+	}
+}
+
+func clampU8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
 }
 
 // RenderNonAUI composes one benign screen and returns the unlabelled

@@ -1,0 +1,382 @@
+package auigen
+
+// The knob seam: a bounded, clampable parameter vector over the generation
+// process that internal/adversary's black-box search mutates. Each knob is a
+// *delta* against the clean generator — the zero Knobs renders the screen the
+// plain pipeline would — so the attack surface composes with every Config and
+// seed without forking the builders.
+//
+// The contract the search relies on:
+//
+//   - BuildAttacked(seed, k, cfg) is a pure function of its arguments: the
+//     same triple replays bit-identically (same pixels, same boxes, same
+//     view tree), which is what makes attack trajectories checkable into a
+//     corpus as (seed, knobs) recipes instead of renders.
+//   - Clamp() maps ANY float vector (NaN, ±Inf, out of range) into the valid
+//     box, and a clamped vector can never panic the renderer — fuzzed by
+//     FuzzKnobClamp.
+//   - Perturbed ground truth stays truthful: boxes move and resize in
+//     lockstep with the views they label (the j-th UPO box pairs with
+//     UPOIDs[j], an invariant every builder maintains), coordinates stay
+//     even so the 2:1 downsample keeps them pixel-aligned, and
+//     ValidateAsymmetry rejects any knob draw that would break the paper's
+//     asymmetry predicate.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/uikit"
+)
+
+// Knobs is the attack parameter vector. The zero value renders clean.
+type Knobs struct {
+	// UPOAlpha in [-0.85, 0] multiplies every UPO's opacity by (1 + v),
+	// floored at 0.12 so the option stays (barely) human-visible — the
+	// contrast attack.
+	UPOAlpha float64 `json:"upo_alpha"`
+	// UPOScale in [-0.45, 0.10] resizes every UPO about its centre; the
+	// shrink direction is the attack, the small grow headroom keeps the
+	// search space honest. Dimensions floor at 6 screen px.
+	UPOScale float64 `json:"upo_scale"`
+	// UPOShiftX/UPOShiftY in [-20, 20] translate every UPO by whole screen
+	// pixels, clamped in-bounds — the position attack.
+	UPOShiftX float64 `json:"upo_shift_x"`
+	UPOShiftY float64 `json:"upo_shift_y"`
+	// AGOFade in [0, 0.80] blends the AGO fill and label toward a neutral
+	// grey — the palette-shift attack that starves the detector of the
+	// vivid-button cue.
+	AGOFade float64 `json:"ago_fade"`
+	// Distractors in [0, 1] adds up to 6 close-button look-alike decoys
+	// (non-clickable, unlabelled) placed away from the true boxes.
+	Distractors float64 `json:"distractors"`
+	// Texture in [0, 1] scales seeded background luma noise up to ±8% of
+	// full scale, applied to the composed screen before downsampling.
+	Texture float64 `json:"texture"`
+}
+
+// NumKnobs is the dimensionality of the knob vector.
+const NumKnobs = 7
+
+var (
+	knobMin = [NumKnobs]float64{-0.85, -0.45, -20, -20, 0, 0, 0}
+	knobMax = [NumKnobs]float64{0, 0.10, 20, 20, 0.80, 1, 1}
+)
+
+// maxNoiseAmp converts Texture=1 into the noise amplitude fraction.
+const maxNoiseAmp = 0.08
+
+// maxDistractors is the decoy count at Distractors=1.
+const maxDistractors = 6
+
+// minUPOAlpha is the opacity floor after the contrast attack.
+const minUPOAlpha = 0.12
+
+// Vec returns the knob values as a fixed-size vector, ordered to match
+// KnobRange.
+func (k Knobs) Vec() [NumKnobs]float64 {
+	return [NumKnobs]float64{k.UPOAlpha, k.UPOScale, k.UPOShiftX, k.UPOShiftY, k.AGOFade, k.Distractors, k.Texture}
+}
+
+// KnobsFromVec is the inverse of Vec.
+func KnobsFromVec(v [NumKnobs]float64) Knobs {
+	return Knobs{UPOAlpha: v[0], UPOScale: v[1], UPOShiftX: v[2], UPOShiftY: v[3], AGOFade: v[4], Distractors: v[5], Texture: v[6]}
+}
+
+// KnobRange returns knob i's valid [lo, hi] interval, the mutation step
+// scale for the search.
+func KnobRange(i int) (lo, hi float64) { return knobMin[i], knobMax[i] }
+
+// Clamp maps an arbitrary knob vector into the valid box. NaN becomes the
+// clean value; ±Inf and out-of-range values saturate at the bounds. A
+// clamped vector is safe to render.
+func (k Knobs) Clamp() Knobs {
+	v := k.Vec()
+	for i := range v {
+		if math.IsNaN(v[i]) {
+			v[i] = 0
+		}
+		v[i] = math.Min(math.Max(v[i], knobMin[i]), knobMax[i])
+	}
+	return KnobsFromVec(v)
+}
+
+// Attacked is one perturbed screen: the rendered sample, the composed screen
+// (for metadata-reading backends), the mutated AUI with synced ground truth,
+// and the recipe that regenerates all of it.
+type Attacked struct {
+	Sample *dataset.Sample
+	Screen *uikit.Screen
+	AUI    *AUI
+	// W, H is the coordinate area the AUI was built for (content frame, or
+	// the full screen for full-screen subjects) — the frame Validate checks
+	// boxes against.
+	W, H  int
+	Seed  int64
+	Knobs Knobs
+}
+
+// Validate re-checks the asymmetry predicate on the perturbed ground truth.
+func (at *Attacked) Validate() error { return at.AUI.ValidateAsymmetry(at.W, at.H) }
+
+// Salts decorrelate the perturbation and noise streams from the generator's
+// own stream without adding seed plumbing.
+const (
+	attackSalt = 0x5eed0a77ac4ed
+	noiseSalt  = 0x7e47a15e
+)
+
+// BuildAttacked deterministically renders the AUI screen for seed with the
+// knob vector applied. Zero knobs produce the clean screen; the same
+// (seed, k, cfg) triple replays bit-identically.
+func BuildAttacked(seed int64, k Knobs, cfg DatasetConfig) *Attacked {
+	k = k.Clamp()
+	g := New(seed, cfg.Gen)
+	sw, sh := cfg.screen()
+	probe := uikit.NewScreen(sw, sh)
+	content := probe.ContentFrame()
+	a := g.AUI(content.W, content.H)
+	w, h := content.W, content.H
+	if a.FullScreen {
+		a = g.AUIFor(a.Subject, sw, sh)
+		a.FullScreen = true
+		w, h = sw, sh
+	}
+	rng := rand.New(rand.NewSource(seed ^ attackSalt))
+	ApplyKnobs(a, k, w, h, rng)
+	cfg.NoiseAmp = k.Texture * maxNoiseAmp
+	cfg.NoiseSeed = seed ^ noiseSalt
+	sample, screen := g.RenderAUIScreen(a, cfg)
+	return &Attacked{Sample: sample, Screen: screen, AUI: a, W: w, H: h, Seed: seed, Knobs: k}
+}
+
+// ApplyKnobs perturbs a built AUI in place inside its w x h build area,
+// keeping the ground-truth boxes in lockstep with the views. rng drives only
+// distractor placement, so the same (AUI, k, rng seed) replays exactly.
+func ApplyKnobs(a *AUI, k Knobs, w, h int, rng *rand.Rand) {
+	k = k.Clamp()
+	agoRects := classRects(a, dataset.ClassAGO)
+
+	// UPO contrast / size / position. The j-th UPO-class box pairs with
+	// UPOIDs[j]; walk both in lockstep.
+	j := 0
+	for bi := range a.Boxes {
+		if a.Boxes[bi].Class != dataset.ClassUPO {
+			continue
+		}
+		if j >= len(a.UPOIDs) {
+			break
+		}
+		v := a.Root.FindByID(a.UPOIDs[j])
+		j++
+		if v == nil {
+			continue
+		}
+		old := a.Boxes[bi].B.Rect()
+		moved := perturbRect(old, 1+k.UPOScale, int(k.UPOShiftX), int(k.UPOShiftY), w, h)
+		// A shift that drags the UPO onto an AGO would conflate the two
+		// labels; fall back to resizing in place.
+		if !intersectsAny(old, agoRects) && intersectsAny(moved, agoRects) {
+			moved = perturbRect(old, 1+k.UPOScale, 0, 0, w, h)
+		}
+		v.Bounds.X += moved.X - old.X
+		v.Bounds.Y += moved.Y - old.Y
+		v.Bounds.W, v.Bounds.H = moved.W, moved.H
+		if v.Corner > 0 && v.Corner > min(moved.W, moved.H)/2 {
+			v.Corner = min(moved.W, moved.H) / 2
+		}
+		eff := v.Alpha
+		if eff == 0 {
+			eff = 1
+		}
+		eff *= 1 + k.UPOAlpha
+		if eff < minUPOAlpha {
+			eff = minUPOAlpha
+		}
+		v.Alpha = eff
+		a.Boxes[bi].B = geom.BoxFromRect(moved)
+	}
+
+	// AGO palette fade.
+	if k.AGOFade > 0 {
+		grey := render.RGB(214, 214, 214)
+		for _, id := range a.AGOIDs {
+			if v := a.Root.FindByID(id); v != nil {
+				v.Color = lerpColor(v.Color, grey, k.AGOFade)
+				v.TextColor = lerpColor(v.TextColor, grey, k.AGOFade)
+			}
+		}
+	}
+
+	// Decoy close buttons: look like UPO chips, but are not clickable,
+	// carry no id, and stay clear of every labelled box.
+	truth := make([]geom.Rect, 0, len(a.Boxes))
+	for _, b := range a.Boxes {
+		truth = append(truth, b.B.Rect().Inset(-4))
+	}
+	n := int(k.Distractors*maxDistractors + 0.5)
+	for i := 0; i < n; i++ {
+		size := even(8 + rng.Intn(7))
+		for attempt := 0; attempt < 10; attempt++ {
+			r := geom.Rect{
+				X: even(2 + rng.Intn(max(1, w-size-4))),
+				Y: even(2 + rng.Intn(max(1, h-size-4))),
+				W: size, H: size,
+			}
+			if intersectsAny(r, truth) {
+				continue
+			}
+			a.Root.Add(&uikit.View{
+				Kind: uikit.KindIcon, Bounds: r,
+				Color: render.RGB(233, 233, 233).WithAlpha(220), Corner: size / 2,
+				Cross: true, CrossColor: render.RGB(55, 55, 55), Alpha: 0.9,
+			})
+			break
+		}
+	}
+}
+
+// perturbRect scales r about its centre and shifts it, snapping to even
+// coordinates (pixel alignment across the 2:1 downsample) and clamping into
+// the w x h area with dimensions floored at the tap-target minimum, so a
+// legal shrink can never push the UPO out of the validator's valid space.
+func perturbRect(r geom.Rect, scale float64, dx, dy, w, h int) geom.Rect {
+	nw := even(int(float64(r.W)*scale + 0.5))
+	nh := even(int(float64(r.H)*scale + 0.5))
+	if nw < minUPODim {
+		nw = minUPODim
+	}
+	if nh < minUPODim {
+		nh = minUPODim
+	}
+	if nw > w {
+		nw = even(w)
+	}
+	if nh > h {
+		nh = even(h)
+	}
+	nx := even(r.X + (r.W-nw)/2 + dx)
+	ny := even(r.Y + (r.H-nh)/2 + dy)
+	nx = clampInt(nx, 0, w-nw)
+	ny = clampInt(ny, 0, h-nh)
+	return geom.Rect{X: even(nx), Y: even(ny), W: nw, H: nh}
+}
+
+func clampInt(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func intersectsAny(r geom.Rect, rs []geom.Rect) bool {
+	for _, s := range rs {
+		if !r.Intersect(s).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+func classRects(a *AUI, class dataset.Class) []geom.Rect {
+	var out []geom.Rect
+	for _, b := range a.Boxes {
+		if b.Class == class {
+			out = append(out, b.B.Rect())
+		}
+	}
+	return out
+}
+
+func lerpColor(c, to render.Color, t float64) render.Color {
+	if c.A == 0 {
+		return c // no fill to fade
+	}
+	l := func(a, b uint8) uint8 { return uint8(float64(a) + (float64(b)-float64(a))*t + 0.5) }
+	return render.Color{R: l(c.R, to.R), G: l(c.G, to.G), B: l(c.B, to.B), A: c.A}
+}
+
+// Validity thresholds for the asymmetry predicate. Clean screens from every
+// builder satisfy them with margin; a knob draw that breaks one is rejected
+// by the search rather than mined into the corpus.
+const (
+	minBoxDim        = 4    // screen px; non-degenerate after 2:1 downsample
+	minUPODim        = 8    // the smallest UPO any clean builder emits: a close button below tap-target size is no longer function-preserving
+	minAsymmetry     = 1.2  // every AGO area ≥ 1.2x every UPO area
+	maxClassPairIoU  = 0.4  // UPO and AGO labels must stay distinguishable
+	minVisibleUPOAlp = 0.10 // a fully invisible UPO is no longer an option
+)
+
+// ValidateAsymmetry checks that the (possibly perturbed) ground truth still
+// satisfies the paper's asymmetry predicate inside the w x h build area: at
+// least one in-bounds, non-degenerate UPO that is clickable and visible,
+// every AGO strictly more prominent than every UPO, and no UPO/AGO label
+// conflation. A nil error means the screen is a valid AUI.
+func (a *AUI) ValidateAsymmetry(w, h int) error {
+	nUPO, nAGO := 0, 0
+	bounds := geom.Rect{W: w, H: h}
+	var upos, agos []geom.Rect
+	for i, b := range a.Boxes {
+		r := b.B.Rect()
+		if r.W < minBoxDim || r.H < minBoxDim {
+			return fmt.Errorf("box %d (%v) degenerate: %v", i, b.Class, r)
+		}
+		if !bounds.ContainsRect(r) {
+			return fmt.Errorf("box %d (%v) out of bounds %dx%d: %v", i, b.Class, w, h, r)
+		}
+		switch b.Class {
+		case dataset.ClassUPO:
+			if r.W < minUPODim || r.H < minUPODim {
+				return fmt.Errorf("box %d: UPO %v below tap-target size %d — attack not function-preserving", i, r, minUPODim)
+			}
+			nUPO++
+			upos = append(upos, r)
+		case dataset.ClassAGO:
+			nAGO++
+			agos = append(agos, r)
+		}
+	}
+	if nUPO == 0 || nUPO != len(a.UPOIDs) {
+		return fmt.Errorf("UPO boxes (%d) and ids (%d) out of sync", nUPO, len(a.UPOIDs))
+	}
+	if nAGO != len(a.AGOIDs) {
+		return fmt.Errorf("AGO boxes (%d) and ids (%d) out of sync", nAGO, len(a.AGOIDs))
+	}
+	for _, u := range upos {
+		for _, g := range agos {
+			if g.Area() < int(minAsymmetry*float64(u.Area())) {
+				return fmt.Errorf("asymmetry broken: AGO %v (area %d) vs UPO %v (area %d)", g, g.Area(), u, u.Area())
+			}
+			if iou := u.IoU(g); iou > maxClassPairIoU {
+				return fmt.Errorf("UPO %v conflated with AGO %v (IoU %.2f)", u, g, iou)
+			}
+		}
+	}
+	for _, id := range a.UPOIDs {
+		v := a.Root.FindByID(id)
+		if v == nil {
+			return fmt.Errorf("UPO view %q missing from tree", id)
+		}
+		if !v.Clickable {
+			return fmt.Errorf("UPO view %q not clickable", id)
+		}
+		eff := v.Alpha
+		if eff == 0 {
+			eff = 1
+		}
+		if eff < minVisibleUPOAlp {
+			return fmt.Errorf("UPO view %q invisible (alpha %.2f)", id, eff)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package auigen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestClampMapsArbitraryVectorsIntoRange(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Knobs
+	}{
+		{"zero", Knobs{}},
+		{"nan", Knobs{UPOAlpha: math.NaN(), Texture: math.NaN()}},
+		{"pos-inf", Knobs{UPOScale: math.Inf(1), UPOShiftX: math.Inf(1), AGOFade: math.Inf(1)}},
+		{"neg-inf", Knobs{UPOAlpha: math.Inf(-1), UPOShiftY: math.Inf(-1), Distractors: math.Inf(-1)}},
+		{"huge", Knobs{UPOAlpha: 1e18, UPOScale: -1e18, UPOShiftX: 1e6, UPOShiftY: -1e6, AGOFade: 7, Distractors: 42, Texture: -3}},
+		{"in-range", Knobs{UPOAlpha: -0.5, UPOScale: -0.2, UPOShiftX: 8, UPOShiftY: -8, AGOFade: 0.3, Distractors: 0.5, Texture: 0.25}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.Clamp().Vec()
+			for i, v := range got {
+				lo, hi := KnobRange(i)
+				if math.IsNaN(v) || v < lo || v > hi {
+					t.Fatalf("knob %d = %v outside [%v, %v]", i, v, lo, hi)
+				}
+			}
+		})
+	}
+	// In-range vectors pass through untouched; clamping is idempotent.
+	in := Knobs{UPOAlpha: -0.5, UPOScale: -0.2, UPOShiftX: 8, UPOShiftY: -8, AGOFade: 0.3, Distractors: 0.5, Texture: 0.25}
+	if in.Clamp() != in {
+		t.Fatalf("in-range vector changed by Clamp: %+v -> %+v", in, in.Clamp())
+	}
+	if c := in.Clamp(); c.Clamp() != c {
+		t.Fatal("Clamp not idempotent")
+	}
+}
+
+func TestVecRoundTrip(t *testing.T) {
+	k := Knobs{UPOAlpha: -0.1, UPOScale: 0.05, UPOShiftX: 4, UPOShiftY: -6, AGOFade: 0.7, Distractors: 0.9, Texture: 0.4}
+	if got := KnobsFromVec(k.Vec()); got != k {
+		t.Fatalf("round trip changed vector: %+v -> %+v", k, got)
+	}
+}
+
+func TestBuildAttackedReplaysBitIdentically(t *testing.T) {
+	k := Knobs{UPOAlpha: -0.6, UPOScale: -0.3, UPOShiftX: 10, UPOShiftY: -10, AGOFade: 0.5, Distractors: 0.8, Texture: 0.6}
+	cfg := DatasetConfig{}
+	a := BuildAttacked(41, k, cfg)
+	b := BuildAttacked(41, k, cfg)
+	if !bytes.Equal(a.Sample.Input.Pix, b.Sample.Input.Pix) {
+		t.Fatal("same (seed, knobs) produced different pixels")
+	}
+	if len(a.Sample.Boxes) != len(b.Sample.Boxes) {
+		t.Fatalf("box counts diverge: %d vs %d", len(a.Sample.Boxes), len(b.Sample.Boxes))
+	}
+	for i := range a.Sample.Boxes {
+		if a.Sample.Boxes[i] != b.Sample.Boxes[i] {
+			t.Fatalf("box %d diverges: %+v vs %+v", i, a.Sample.Boxes[i], b.Sample.Boxes[i])
+		}
+	}
+	c := BuildAttacked(42, k, cfg)
+	if bytes.Equal(a.Sample.Input.Pix, c.Sample.Input.Pix) {
+		t.Fatal("different seeds produced identical pixels")
+	}
+}
+
+func TestZeroKnobsRenderCleanAndValid(t *testing.T) {
+	cfg := DatasetConfig{}
+	for seed := int64(1); seed <= 40; seed++ {
+		at := BuildAttacked(seed, Knobs{}, cfg)
+		if err := at.Validate(); err != nil {
+			t.Fatalf("clean screen %d fails asymmetry validator: %v", seed, err)
+		}
+		if len(at.Sample.Boxes) == 0 {
+			t.Fatalf("clean screen %d has no ground truth", seed)
+		}
+	}
+}
+
+func TestAttackKeepsBoxesAndViewsInLockstep(t *testing.T) {
+	k := Knobs{UPOScale: -0.4, UPOShiftX: 16, UPOShiftY: 16, UPOAlpha: -0.8}
+	for seed := int64(1); seed <= 20; seed++ {
+		at := BuildAttacked(seed, k, DatasetConfig{})
+		j := 0
+		for _, b := range at.AUI.Boxes {
+			if b.Class != dataset.ClassUPO {
+				continue
+			}
+			v := at.AUI.Root.FindByID(at.AUI.UPOIDs[j])
+			j++
+			if v == nil {
+				t.Fatalf("seed %d: UPO view %q vanished", seed, at.AUI.UPOIDs[j-1])
+			}
+			r := b.B.Rect()
+			if v.Bounds.W != r.W || v.Bounds.H != r.H {
+				t.Fatalf("seed %d: box %v out of lockstep with view bounds %v", seed, r, v.Bounds)
+			}
+		}
+	}
+}
+
+func TestValidatorRejectsBrokenScreens(t *testing.T) {
+	// Find a screen with both classes so every predicate clause is live.
+	var at *Attacked
+	for seed := int64(1); seed <= 60; seed++ {
+		cand := BuildAttacked(seed, Knobs{}, DatasetConfig{})
+		if len(cand.AUI.UPOIDs) > 0 && len(cand.AUI.AGOIDs) > 0 {
+			at = cand
+			break
+		}
+	}
+	if at == nil {
+		t.Fatal("no screen with both UPO and AGO in seeds 1..60")
+	}
+	a := at.AUI
+
+	degenerate := *a
+	degenerate.Boxes = append([]dataset.Box(nil), a.Boxes...)
+	degenerate.Boxes[0].B.W = 1
+	degenerate.Boxes[0].B.H = 1
+	if degenerate.ValidateAsymmetry(at.W, at.H) == nil {
+		t.Fatal("validator accepted a degenerate box")
+	}
+
+	outOfSync := *a
+	outOfSync.UPOIDs = nil
+	if outOfSync.ValidateAsymmetry(at.W, at.H) == nil {
+		t.Fatal("validator accepted UPO boxes with no ids")
+	}
+
+	// A UPO grown past every AGO breaks the prominence asymmetry.
+	inflated := *a
+	inflated.Boxes = append([]dataset.Box(nil), a.Boxes...)
+	for i := range inflated.Boxes {
+		if inflated.Boxes[i].Class == dataset.ClassUPO {
+			inflated.Boxes[i].B.W = float64(at.W)
+			inflated.Boxes[i].B.H = float64(at.H)
+			inflated.Boxes[i].B.X = 0
+			inflated.Boxes[i].B.Y = 0
+		}
+	}
+	if inflated.ValidateAsymmetry(at.W, at.H) == nil {
+		t.Fatal("validator accepted a UPO larger than the AGOs")
+	}
+}
+
+// FuzzKnobClamp is the renderer-safety fuzz target: ANY float vector, once
+// clamped, must render without panicking and keep the clamped values inside
+// the declared ranges. Seeds beyond f.Add live in testdata/fuzz/FuzzKnobClamp.
+func FuzzKnobClamp(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-0.85, 0.10, 20.0, -20.0, 0.80, 1.0, 1.0)
+	f.Add(math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300, math.NaN(), 0.5)
+	f.Add(-0.3, -0.45, 7.0, 3.0, 0.2, 0.51, 0.99)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h float64) {
+		raw := KnobsFromVec([NumKnobs]float64{a, b, c, d, e, g, h})
+		k := raw.Clamp()
+		for i, v := range k.Vec() {
+			lo, hi := KnobRange(i)
+			if math.IsNaN(v) || v < lo || v > hi {
+				t.Fatalf("knob %d = %v escaped [%v, %v]", i, v, lo, hi)
+			}
+		}
+		// The renderer must survive the raw vector too — BuildAttacked clamps
+		// internally, so unclamped input is part of its contract.
+		at := BuildAttacked(11, raw, DatasetConfig{})
+		if at.Sample == nil || at.Sample.Input == nil || at.Screen == nil {
+			t.Fatal("attacked render incomplete")
+		}
+		if len(at.Sample.Boxes) == 0 {
+			t.Fatal("attacked render lost its ground truth")
+		}
+	})
+}

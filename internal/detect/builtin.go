@@ -85,6 +85,14 @@ var (
 	_ ContextBatchPredictor = (*FallbackChain)(nil)
 )
 
+// The majority-vote ensemble is a full citizen of the seam as well.
+var (
+	_ Detector              = (*Ensemble)(nil)
+	_ BatchPredictor        = (*Ensemble)(nil)
+	_ ContextPredictor      = (*Ensemble)(nil)
+	_ ContextBatchPredictor = (*Ensemble)(nil)
+)
+
 // weightsPath maps a registry name to its weight file ("yolite-masked" →
 // "yolite_masked.gob", matching the files cmd/darpa-train writes).
 func weightsPath(dir, name string) string {

@@ -1,0 +1,438 @@
+package detect
+
+// The ensemble vote: the adversarial-robustness counterpart of the fallback
+// chain. A fallback chain trusts the first healthy backend — exactly what an
+// evasion attack exploits, because fooling the primary fools the stack. The
+// vote instead runs every healthy backend on every screen and emits only
+// detections that a quorum of *distinct* backends localised to the same box,
+// so an attack has to fool backends with different failure modes (pixel CNN,
+// region-proposal CNN, metadata heuristics) at once.
+//
+// The resilience contract matches the chain's: per-backend attempts are
+// recovered and validated, a corrupt or panicking backend just loses its
+// vote (and is outvoted by the rest), BreakAfter consecutive failures open
+// its breaker for Cooldown calls with a half-open probe after, and context
+// cancellation propagates without being charged to anyone's health. The
+// breaker mutex is never held across an inference call, so one slow or
+// deadlocked backend cannot wedge the vote accounting.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// VoteOptions tune WithMajorityVote. The zero value requires a majority of
+// responding backends to agree at IoU >= 0.3, breaks a backend after 5
+// consecutive failures for 32 calls, and uses default validation.
+type VoteOptions struct {
+	// Quorum is the number of distinct backends that must support a
+	// detection. <= 0 means a majority of the backends that responded to
+	// the call; the quorum never exceeds the responder count, so a vote
+	// degrades to a passthrough when only one backend is healthy instead
+	// of failing closed.
+	Quorum int
+	// IoU is the overlap at which two backends' same-class detections
+	// count as the same object; <= 0 means 0.3 (loose, because backends
+	// localise with different box conventions).
+	IoU float64
+	// BreakAfter is the consecutive-failure count that opens a backend's
+	// breaker; <= 0 means 5.
+	BreakAfter int
+	// Cooldown is how many ensemble calls an open breaker sits out before
+	// a half-open probe; <= 0 means 32.
+	Cooldown int
+	// Validate accepts a backend result; rejected results count as backend
+	// failures (ErrCorruptResult). Nil means ValidDetections.
+	Validate func([]metrics.Detection) bool
+	// Timings, when non-nil, counts outvoted candidates under
+	// "detect-vote-outvoted" and breaker trips under "detect-breaker-open".
+	Timings *perfmodel.Timings
+}
+
+func (o VoteOptions) iou() float64 {
+	if o.IoU <= 0 {
+		return 0.3
+	}
+	return o.IoU
+}
+
+func (o VoteOptions) breakAfter() int {
+	if o.BreakAfter <= 0 {
+		return 5
+	}
+	return o.BreakAfter
+}
+
+func (o VoteOptions) cooldown() int {
+	if o.Cooldown <= 0 {
+		return 32
+	}
+	return o.Cooldown
+}
+
+func (o VoteOptions) validate() func([]metrics.Detection) bool {
+	if o.Validate == nil {
+		return ValidDetections
+	}
+	return o.Validate
+}
+
+// quorum resolves the required supporter count for a call that responders
+// backends answered.
+func (o VoteOptions) quorum(responders int) int {
+	q := o.Quorum
+	if q <= 0 {
+		q = responders/2 + 1
+	}
+	if q > responders {
+		q = responders
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// VoteStats snapshots ensemble activity.
+type VoteStats struct {
+	// Calls counts inference calls into the ensemble.
+	Calls int
+	// Emitted counts detections that reached quorum.
+	Emitted int
+	// Outvoted counts candidate detections dropped for lack of quorum —
+	// including corrupt backends' inventions outvoted by the rest.
+	Outvoted int
+	// AllFailed counts calls no backend could serve.
+	AllFailed int
+	// Backends holds each member's health, in constructor order.
+	Backends []BackendHealth
+}
+
+// Ensemble runs every healthy backend and majority-votes the detections.
+// Safe for concurrent use.
+type Ensemble struct {
+	backends []Detector
+	opts     VoteOptions
+
+	mu     sync.Mutex
+	health []health
+	stats  VoteStats
+}
+
+// WithMajorityVote builds the vote over the given backends. It panics when
+// given no backends.
+func WithMajorityVote(opts VoteOptions, backends ...Detector) *Ensemble {
+	if len(backends) == 0 {
+		panic("detect: WithMajorityVote requires at least one backend")
+	}
+	return &Ensemble{
+		backends: backends,
+		opts:     opts,
+		health:   make([]health, len(backends)),
+	}
+}
+
+// Name lists the members, e.g. "vote(yolite+rcnn+frauddroid)".
+func (e *Ensemble) Name() string {
+	names := make([]string, len(e.backends))
+	for i, b := range e.backends {
+		names[i] = b.Name()
+	}
+	return "vote(" + strings.Join(names, "+") + ")"
+}
+
+// Stats returns a snapshot of vote activity and per-backend health.
+func (e *Ensemble) Stats() VoteStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Backends = make([]BackendHealth, len(e.backends))
+	for i, h := range e.health {
+		st.Backends[i] = BackendHealth{
+			Name:        e.backends[i].Name(),
+			Uses:        h.uses,
+			Successes:   h.succ,
+			Failures:    h.fail,
+			Consecutive: h.consec,
+			Open:        h.open,
+			Tripped:     h.tripped,
+		}
+	}
+	return st
+}
+
+// admit mirrors FallbackChain.admit: an open breaker counts the call toward
+// its cooldown and admits a half-open probe once the cooldown is spent.
+func (e *Ensemble) admit(i int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := &e.health[i]
+	if !h.open {
+		return true
+	}
+	if h.cooldown > 0 {
+		h.cooldown--
+		return false
+	}
+	return true
+}
+
+// noteOutcome drives backend i's breaker state machine.
+func (e *Ensemble) noteOutcome(i int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := &e.health[i]
+	h.uses++
+	if ok {
+		h.succ++
+		h.consec = 0
+		h.open = false
+		return
+	}
+	h.fail++
+	h.consec++
+	if h.open {
+		h.cooldown = e.opts.cooldown()
+		return
+	}
+	if h.consec >= e.opts.breakAfter() {
+		h.open = true
+		h.cooldown = e.opts.cooldown()
+		h.tripped++
+		e.opts.Timings.AddItems("detect-breaker-open", 1)
+	}
+}
+
+func (e *Ensemble) noteCall() {
+	e.mu.Lock()
+	e.stats.Calls++
+	e.mu.Unlock()
+}
+
+func (e *Ensemble) noteVotes(emitted, outvoted int) {
+	e.mu.Lock()
+	e.stats.Emitted += emitted
+	e.stats.Outvoted += outvoted
+	e.mu.Unlock()
+	if outvoted > 0 {
+		e.opts.Timings.AddItems("detect-vote-outvoted", outvoted)
+	}
+}
+
+func (e *Ensemble) noteAllFailed() {
+	e.mu.Lock()
+	e.stats.AllFailed++
+	e.mu.Unlock()
+}
+
+// try runs one recovered, validated attempt on backend i. The mutex is not
+// held here: inference runs lock-free, outcomes are recorded after.
+func (e *Ensemble) try(ctx context.Context, i int, x *tensor.Tensor, n int, conf float64) (dets []metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			dets, err = nil, &PanicError{Value: p}
+		}
+	}()
+	dets, err = Predict(ctx, e.backends[i], x, n, conf)
+	if err == nil && !e.opts.validate()(dets) {
+		return nil, ErrCorruptResult
+	}
+	return dets, err
+}
+
+// tryBatch is try for the batch seam.
+func (e *Ensemble) tryBatch(ctx context.Context, i int, x *tensor.Tensor, conf float64) (out [][]metrics.Detection, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, &PanicError{Value: p}
+		}
+	}()
+	out, err = PredictBatchCtx(ctx, e.backends[i], x, conf)
+	if err == nil && !validBatch(out, e.opts.validate()) {
+		return nil, ErrCorruptResult
+	}
+	return out, err
+}
+
+// ballot is one backend's detection in a vote.
+type ballot struct {
+	det     metrics.Detection
+	backend int
+	used    bool
+}
+
+// vote clusters the responding backends' detections and emits one detection
+// per cluster that a quorum of distinct backends supports. Candidates are
+// visited best-score-first with deterministic tie-breaking; an emitted
+// cluster consumes every overlapping same-class ballot, a rejected candidate
+// consumes only itself (its supporters may still anchor their own cluster).
+// Returns the emitted detections and the outvoted-candidate count.
+func (e *Ensemble) vote(lists map[int][]metrics.Detection) ([]metrics.Detection, int) {
+	q := e.opts.quorum(len(lists))
+	iou := e.opts.iou()
+	var ballots []ballot
+	for backend, dets := range lists {
+		for _, d := range dets {
+			ballots = append(ballots, ballot{det: d, backend: backend})
+		}
+	}
+	sort.Slice(ballots, func(a, b int) bool {
+		x, y := ballots[a], ballots[b]
+		if x.det.Score != y.det.Score {
+			return x.det.Score > y.det.Score
+		}
+		if x.backend != y.backend {
+			return x.backend < y.backend
+		}
+		if x.det.B.X != y.det.B.X {
+			return x.det.B.X < y.det.B.X
+		}
+		if x.det.B.Y != y.det.B.Y {
+			return x.det.B.Y < y.det.B.Y
+		}
+		return x.det.Class < y.det.Class
+	})
+
+	var out []metrics.Detection
+	outvoted := 0
+	for i := range ballots {
+		if ballots[i].used {
+			continue
+		}
+		cand := &ballots[i]
+		supporters := map[int]bool{cand.backend: true}
+		var cluster []int
+		for j := range ballots {
+			if j == i || ballots[j].used || ballots[j].det.Class != cand.det.Class {
+				continue
+			}
+			if ballots[j].det.B.IoU(cand.det.B) >= iou {
+				supporters[ballots[j].backend] = true
+				cluster = append(cluster, j)
+			}
+		}
+		cand.used = true
+		if len(supporters) >= q {
+			for _, j := range cluster {
+				ballots[j].used = true
+			}
+			out = append(out, cand.det)
+		} else {
+			outvoted++
+		}
+	}
+	return out, outvoted
+}
+
+// PredictTensorCtx fans the call out to every admitted backend, tallies the
+// vote, and returns the agreed detections. A backend's error, panic or
+// corrupt result removes its ballot and is charged to its health;
+// cancellation propagates immediately, charged to nobody.
+func (e *Ensemble) PredictTensorCtx(ctx context.Context, x *tensor.Tensor, n int, conf float64) ([]metrics.Detection, error) {
+	e.noteCall()
+	lists := make(map[int][]metrics.Detection)
+	var lastErr error
+	for i := range e.backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !e.admit(i) {
+			continue
+		}
+		dets, err := e.try(ctx, i, x, n, conf)
+		if err != nil {
+			if isCtxError(err) && ctx.Err() != nil {
+				return nil, err
+			}
+			e.noteOutcome(i, false)
+			lastErr = err
+			continue
+		}
+		e.noteOutcome(i, true)
+		lists[i] = dets
+	}
+	if len(lists) == 0 {
+		e.noteAllFailed()
+		if lastErr == nil {
+			return nil, fmt.Errorf("%w (all %d circuit-broken)", ErrAllBackendsFailed, len(e.backends))
+		}
+		return nil, fmt.Errorf("%w: last: %v", ErrAllBackendsFailed, lastErr)
+	}
+	out, outvoted := e.vote(lists)
+	e.noteVotes(len(out), outvoted)
+	return out, nil
+}
+
+// PredictBatchCtx runs each backend over the whole batch once and votes per
+// item. A backend that fails the batch loses its ballot on every item.
+func (e *Ensemble) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, conf float64) ([][]metrics.Detection, error) {
+	e.noteCall()
+	batches := make(map[int][][]metrics.Detection)
+	var lastErr error
+	items := 0
+	for i := range e.backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !e.admit(i) {
+			continue
+		}
+		out, err := e.tryBatch(ctx, i, x, conf)
+		if err != nil {
+			if isCtxError(err) && ctx.Err() != nil {
+				return nil, err
+			}
+			e.noteOutcome(i, false)
+			lastErr = err
+			continue
+		}
+		e.noteOutcome(i, true)
+		batches[i] = out
+		if len(out) > items {
+			items = len(out)
+		}
+	}
+	if len(batches) == 0 {
+		e.noteAllFailed()
+		if lastErr == nil {
+			return nil, fmt.Errorf("%w (all %d circuit-broken)", ErrAllBackendsFailed, len(e.backends))
+		}
+		return nil, fmt.Errorf("%w: last: %v", ErrAllBackendsFailed, lastErr)
+	}
+	result := make([][]metrics.Detection, items)
+	totalEmitted, totalOutvoted := 0, 0
+	for item := 0; item < items; item++ {
+		lists := make(map[int][]metrics.Detection)
+		for backend, out := range batches {
+			if item < len(out) {
+				lists[backend] = out[item]
+			}
+		}
+		dets, outvoted := e.vote(lists)
+		result[item] = dets
+		totalEmitted += len(dets)
+		totalOutvoted += outvoted
+	}
+	e.noteVotes(totalEmitted, totalOutvoted)
+	return result, nil
+}
+
+// PredictTensor serves the legacy seam; when no backend can serve, it
+// returns no detections (the seam has no error channel).
+func (e *Ensemble) PredictTensor(x *tensor.Tensor, n int, conf float64) []metrics.Detection {
+	dets, _ := e.PredictTensorCtx(context.Background(), x, n, conf)
+	return dets
+}
+
+// PredictBatch mirrors PredictTensor for the legacy batch seam.
+func (e *Ensemble) PredictBatch(x *tensor.Tensor, conf float64) [][]metrics.Detection {
+	out, _ := e.PredictBatchCtx(context.Background(), x, conf)
+	return out
+}

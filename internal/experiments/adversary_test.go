@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/auigen"
+	"repro/internal/frauddroid"
+	"repro/internal/uikit"
+)
+
+// TestRecallUnderAttackFrauddroid drives the eval loop end to end with the
+// trainless metadata backend: zero-knob "attacked" screens must score exactly
+// like the clean ones, and the observe hook must hand the adapter the screen
+// whose pixels are being scored.
+func TestRecallUnderAttackFrauddroid(t *testing.T) {
+	cfg := DataConfig()
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	clean, attacked := AttackScreenSets(seeds, auigen.Knobs{}, cfg)
+	if len(clean) != len(seeds) || len(attacked) != len(seeds) {
+		t.Fatalf("screen sets %d/%d, want %d", len(clean), len(attacked), len(seeds))
+	}
+
+	var cur *uikit.Screen
+	fd := &frauddroid.ViewAdapter{Screen: func() *uikit.Screen { return cur }}
+	row := RecallUnderAttack("frauddroid", fd, clean, attacked, 0.5, func(s *uikit.Screen) { cur = s })
+	if row.Clean != row.Attacked {
+		t.Fatalf("zero-knob attack changed recall: clean %+v vs attacked %+v", row.Clean, row.Attacked)
+	}
+	if row.Drop() != 0 {
+		t.Fatalf("zero-knob attack reports drop %.3f", row.Drop())
+	}
+	if row.Clean.UPO == 0 {
+		t.Fatal("frauddroid found no UPOs on clean screens — observe hook broken?")
+	}
+
+	// Determinism: the whole eval replays exactly.
+	again := RecallUnderAttack("frauddroid", fd, clean, attacked, 0.5, func(s *uikit.Screen) { cur = s })
+	if row != again {
+		t.Fatalf("eval not deterministic: %+v vs %+v", row, again)
+	}
+}
+
+func TestAttackTableFormat(t *testing.T) {
+	rows := []AttackRow{
+		{Backend: "yolite", Clean: RecallPoint{UPO: 0.9, AGO: 0.8, All: 0.85}, Attacked: RecallPoint{UPO: 0.4, AGO: 0.7, All: 0.55}},
+		{Backend: "yolite-hardened", Clean: RecallPoint{UPO: 0.88, AGO: 0.8, All: 0.84}, Attacked: RecallPoint{UPO: 0.7, AGO: 0.75, All: 0.72}},
+	}
+	out := AttackTable(rows, 0.9).Format()
+	for _, want := range []string{"yolite", "yolite-hardened", "0.850", "0.550", "0.300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package yolite
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"math/rand"
@@ -130,6 +131,22 @@ func (m *Model) Save(path string) error { return nn.SaveWeightsFile(path, m.asSe
 func (m *Model) Load(path string) error {
 	m.invalidateFused()
 	return nn.LoadWeightsFile(path, m.asSequential())
+}
+
+// Clone returns an independent copy of the model: same weights and BN
+// statistics, no shared tensors, no shared pool. Fine-tuning the clone (the
+// adversarial hardening loop) leaves the original untouched.
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveWeights(&buf, m.asSequential()); err != nil {
+		return nil, err
+	}
+	c := NewModel(1)
+	if err := nn.LoadWeights(&buf, c.asSequential()); err != nil {
+		return nil, err
+	}
+	c.DisableRefine = m.DisableRefine
+	return c, nil
 }
 
 // Fuse builds the folded inference blocks eagerly, so the first request a
